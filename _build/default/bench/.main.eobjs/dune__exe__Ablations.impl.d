@@ -1,0 +1,1 @@
+bench/ablations.ml: Aquila Blobstore Experiments Fun Hw Int64 Mcache Printf Sdevice Sim Stats

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Experiments Micro_bechamel Printf Sweeps

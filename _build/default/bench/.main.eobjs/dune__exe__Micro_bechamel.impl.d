@@ -1,0 +1,1 @@
+bench/micro_bechamel.ml: Analyze Aquila Bechamel Benchmark Dstruct Hashtbl Instance Int Int64 Kvstore List Measure Printf Sdevice Sim Staged Stats Test Time Toolkit Ycsb

@@ -1,0 +1,1 @@
+bench/sweeps.ml: Aquila Blobstore Experiments Int64 List Mcache Printf Sim Stats

@@ -1,0 +1,14 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, runs the ablation benches from DESIGN.md §5, and times the
+   core substrate data structures with Bechamel. *)
+
+let () =
+  Printf.printf "=== Aquila (EuroSys '21) reproduction benchmark harness ===\n";
+  Printf.printf "%s\n" Experiments.Scenario.scale_note;
+  Experiments.Registry.run_all ();
+  Printf.printf "\n### Ablations (DESIGN.md section 5)\n%!";
+  Ablations.run_all ();
+  Printf.printf "\n### Sensitivity sweeps (beyond the paper's fixed points)\n%!";
+  Sweeps.run_all ();
+  Printf.printf "\n### Substrate microbenchmarks (Bechamel, wall-clock of the simulator's own data structures)\n%!";
+  Micro_bechamel.run ()

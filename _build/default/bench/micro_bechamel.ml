@@ -1,0 +1,154 @@
+(* Bechamel wall-clock microbenchmarks of the substrate data structures —
+   one Test.make per structure on the mmio common path. *)
+
+open Bechamel
+open Toolkit
+
+module Irb = Dstruct.Rbtree.Make (Int)
+
+let test_rbtree_insert =
+  Test.make ~name:"rbtree-insert-1k"
+    (Staged.stage (fun () ->
+         let t = Irb.create () in
+         for i = 0 to 999 do
+           ignore (Irb.insert t ((i * 7919) mod 104729) i)
+         done))
+
+let test_rbtree_find =
+  let t = Irb.create () in
+  let () =
+    for i = 0 to 9999 do
+      ignore (Irb.insert t ((i * 7919) mod 104729) i)
+    done
+  in
+  Test.make ~name:"rbtree-find"
+    (Staged.stage (fun () -> ignore (Irb.find t 35225)))
+
+let test_radix_insert =
+  Test.make ~name:"radix-insert-1k"
+    (Staged.stage (fun () ->
+         let t = Dstruct.Radix_tree.create () in
+         for i = 0 to 999 do
+           ignore (Dstruct.Radix_tree.insert t (i * 37) i)
+         done))
+
+let test_radix_floor =
+  let t = Dstruct.Radix_tree.create () in
+  let () =
+    for i = 0 to 9999 do
+      ignore (Dstruct.Radix_tree.insert t (i * 11) i)
+    done
+  in
+  Test.make ~name:"radix-find-floor"
+    (Staged.stage (fun () -> ignore (Dstruct.Radix_tree.find_floor t 54321)))
+
+let test_lockfree_hash =
+  let t = Dstruct.Lockfree_hash.create () in
+  let () =
+    for i = 0 to 9999 do
+      ignore (Dstruct.Lockfree_hash.insert t i i)
+    done
+  in
+  Test.make ~name:"lockfree-hash-find"
+    (Staged.stage (fun () -> ignore (Dstruct.Lockfree_hash.find t 4242)))
+
+let test_clock =
+  let t = Dstruct.Clock_lru.create ~nframes:4096 in
+  let () =
+    for i = 0 to 4095 do
+      Dstruct.Clock_lru.set_active t i true
+    done
+  in
+  Test.make ~name:"clock-evict-32"
+    (Staged.stage (fun () ->
+         let vs = Dstruct.Clock_lru.evict_candidates t 32 in
+         List.iter (fun v -> Dstruct.Clock_lru.set_active t v true) vs))
+
+let test_histogram =
+  let h = Stats.Histogram.create () in
+  Test.make ~name:"histogram-record"
+    (Staged.stage (fun () -> Stats.Histogram.record h 12345L))
+
+let test_zipfian =
+  let z = Ycsb.Zipfian.zipfian (Sim.Rng.create 5) ~items:1_000_000 in
+  Test.make ~name:"zipfian-next" (Staged.stage (fun () -> ignore (Ycsb.Zipfian.next z)))
+
+let test_bloom =
+  let b = Kvstore.Bloom.create ~expected_keys:10_000 in
+  let () =
+    for i = 0 to 9999 do
+      Kvstore.Bloom.add b (string_of_int i)
+    done
+  in
+  Test.make ~name:"bloom-mem" (Staged.stage (fun () -> ignore (Kvstore.Bloom.mem b "4242")))
+
+let test_pqueue =
+  Test.make ~name:"pqueue-push-pop-256"
+    (Staged.stage (fun () ->
+         let q = Sim.Pqueue.create () in
+         for i = 0 to 255 do
+           Sim.Pqueue.push q ~time:(Int64.of_int ((i * 131) mod 997)) ~seq:i i
+         done;
+         let rec drain () = match Sim.Pqueue.pop q with Some _ -> drain () | None -> () in
+         drain ()))
+
+let test_sim_fault =
+  Test.make ~name:"sim-aquila-fault-roundtrip"
+    (Staged.stage (fun () ->
+         let eng = Sim.Engine.create () in
+         let ctx = Aquila.Context.create (Aquila.Context.default_config ~cache_frames:64) in
+         let pmem = Sdevice.Pmem.create ~capacity_bytes:1048576L () in
+         let access = Sdevice.Access.dax_pmem (Aquila.Context.costs ctx) pmem in
+         let file =
+           Aquila.Context.attach_file ctx ~name:"f" ~access
+             ~translate:(fun p -> if p < 64 then Some p else None)
+             ~size_pages:64
+         in
+         ignore
+           (Sim.Engine.spawn eng ~core:0 (fun () ->
+                Aquila.Context.enter_thread ctx;
+                let r = Aquila.Context.mmap ctx file ~npages:64 () in
+                for p = 0 to 63 do
+                  Aquila.Context.touch ctx r ~page:p ~write:false
+                done));
+         Sim.Engine.run eng))
+
+let tests =
+  Test.make_grouped ~name:"substrate" ~fmt:"%s %s"
+    [
+      test_rbtree_insert;
+      test_rbtree_find;
+      test_radix_insert;
+      test_radix_floor;
+      test_lockfree_hash;
+      test_clock;
+      test_histogram;
+      test_zipfian;
+      test_bloom;
+      test_pqueue;
+      test_sim_fault;
+    ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let est =
+        match Analyze.OLS.estimates result with
+        | Some [ x ] -> Printf.sprintf "%.1f ns/run" x
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Stats.Table_fmt.print_table ~title:"Substrate operation timings (host wall clock)"
+    ~header:[ "operation"; "time" ]
+    (List.sort compare !rows)

@@ -1,0 +1,117 @@
+(* Sensitivity sweeps beyond the paper's fixed configurations: how the
+   Aquila-vs-Linux gap moves with cache size, and how Aquila's eviction
+   batch and readahead window behave across their ranges. *)
+
+let dataset_pages = 12800
+
+let cache_size_sweep () =
+  (* out-of-memory random reads, 16 threads, shared file; sweep the
+     cache:dataset ratio *)
+  let run aquila frames =
+    let eng = Sim.Engine.create () in
+    let sys =
+      if aquila then
+        Experiments.Microbench.Aq
+          (Experiments.Scenario.make_aquila ~frames ~dev:Experiments.Scenario.Pmem ())
+      else
+        Experiments.Microbench.Lx
+          (Experiments.Scenario.make_linux ~readahead:1 ~frames
+             ~dev:Experiments.Scenario.Pmem ())
+    in
+    (Experiments.Microbench.run ~eng ~sys ~file_pages:dataset_pages ~shared:true
+       ~threads:16 ~ops_per_thread:2500 ())
+      .Experiments.Microbench.throughput_ops_s
+  in
+  let rows =
+    List.map
+      (fun denom ->
+        let frames = dataset_pages / denom in
+        let lx = run false frames and aq = run true frames in
+        [
+          Printf.sprintf "1/%d" denom;
+          Stats.Table_fmt.ops_per_sec lx;
+          Stats.Table_fmt.ops_per_sec aq;
+          Stats.Table_fmt.speedup (aq /. lx);
+        ])
+      [ 16; 8; 4; 2 ]
+  in
+  Stats.Table_fmt.print_table
+    ~title:
+      "Sweep: cache size vs dataset (random reads, 16 threads, shared file, pmem)"
+    ~header:[ "cache:dataset"; "Linux mmap"; "Aquila"; "speedup" ]
+    rows
+
+let evict_batch_sweep () =
+  let run batch =
+    let eng = Sim.Engine.create () in
+    let sys =
+      Experiments.Microbench.Aq
+        (Experiments.Scenario.make_aquila
+           ~tweak:(fun c -> { c with Mcache.Dram_cache.evict_batch = batch })
+           ~frames:2048 ~dev:Experiments.Scenario.Pmem ())
+    in
+    (Experiments.Microbench.run ~eng ~sys ~file_pages:dataset_pages ~shared:true
+       ~threads:16 ~ops_per_thread:2500 ~write_fraction:0.3 ())
+      .Experiments.Microbench.throughput_ops_s
+  in
+  let rows =
+    List.map
+      (fun b -> [ string_of_int b; Stats.Table_fmt.ops_per_sec (run b) ])
+      [ 1; 8; 32; 128; 512 ]
+  in
+  Stats.Table_fmt.print_table
+    ~title:
+      "Sweep: eviction/shootdown batch size (cache 2048 frames; too-large \
+       batches degrade victim quality, too-small ones lose amortization)"
+    ~header:[ "batch"; "throughput" ] rows
+
+let readahead_sweep () =
+  let run window =
+    let eng = Sim.Engine.create () in
+    let s =
+      Experiments.Scenario.make_aquila ~frames:4096 ~dev:Experiments.Scenario.Nvme ()
+    in
+    let pages = 2048 in
+    let ms = ref 0. in
+    ignore
+      (Sim.Engine.spawn eng ~core:0 (fun () ->
+           Aquila.Context.enter_thread s.Experiments.Scenario.a_ctx;
+           let blob =
+             Blobstore.Store.create_blob s.Experiments.Scenario.a_store ~name:"s"
+               ~pages ()
+           in
+           let f =
+             Aquila.Context.attach_file s.Experiments.Scenario.a_ctx ~name:"s"
+               ~access:s.Experiments.Scenario.a_access
+               ~translate:(fun p ->
+                 if p < pages then Some (Blobstore.Store.device_page blob p) else None)
+               ~size_pages:pages
+           in
+           let r = Aquila.Context.mmap s.Experiments.Scenario.a_ctx f ~npages:pages () in
+           let t0 = Sim.Engine.now_f () in
+           (* window 0 = MADV_RANDOM; otherwise rely on the cache's
+              per-fault override via a custom normal window *)
+           let cache = Aquila.Context.cache s.Experiments.Scenario.a_ctx in
+           ignore cache;
+           (if window = 0 then
+              Aquila.Context.madvise s.Experiments.Scenario.a_ctx r Aquila.Vma.Random
+            else Aquila.Context.madvise s.Experiments.Scenario.a_ctx r Aquila.Vma.Sequential);
+           for p = 0 to pages - 1 do
+             Aquila.Context.touch s.Experiments.Scenario.a_ctx r ~page:p ~write:false
+           done;
+           ms := Int64.to_float (Int64.sub (Sim.Engine.now_f ()) t0) /. 2.4e6));
+    Sim.Engine.run eng;
+    !ms
+  in
+  Stats.Table_fmt.print_table
+    ~title:"Sweep: readahead on a sequential NVMe scan (2048 pages)"
+    ~header:[ "window"; "scan time" ]
+    [
+      [ "0 (MADV_RANDOM)"; Printf.sprintf "%.2f ms" (run 0) ];
+      [ "32 (MADV_SEQUENTIAL)"; Printf.sprintf "%.2f ms" (run 32) ];
+    ]
+
+let run_all () =
+  cache_size_sweep ();
+  evict_batch_sweep ();
+  readahead_sweep ()

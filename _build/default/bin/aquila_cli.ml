@@ -1,0 +1,42 @@
+(* Command-line driver for the Aquila reproduction experiments. *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List all reproducible tables and figures." in
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Printf.printf "%-8s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one experiment (or 'all')." in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (see 'list'), or 'all'.")
+  in
+  let run id =
+    if id = "all" then begin
+      Experiments.Registry.run_all ();
+      `Ok ()
+    end
+    else
+      match Experiments.Registry.find id with
+      | Some e ->
+          Printf.printf "Aquila reproduction — %s\n" Experiments.Scenario.scale_note;
+          e.Experiments.Registry.run ();
+          `Ok ()
+      | None -> `Error (false, Printf.sprintf "unknown experiment %S" id)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id))
+
+let () =
+  let doc = "Reproduction harness for 'Memory-Mapped I/O on Steroids' (EuroSys '21)" in
+  let info = Cmd.info "aquila_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_policy.ml: Aquila Blobstore Experiments Fun Int64 Mcache Printf Sdevice Sim

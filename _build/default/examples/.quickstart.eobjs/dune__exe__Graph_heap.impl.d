@@ -1,0 +1,1 @@
+examples/graph_heap.ml: Aquila Blobstore Experiments Int64 Ligra Linux_sim Option Printf Sim

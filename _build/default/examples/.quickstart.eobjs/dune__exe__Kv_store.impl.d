@@ -1,0 +1,1 @@
+examples/kv_store.ml: Experiments Hw Kvstore List Option Printf Sim Stats Ycsb

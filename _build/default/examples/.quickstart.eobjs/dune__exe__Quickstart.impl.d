@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aquila Bytes Int64 Mcache Printf Sdevice Sim

@@ -1,0 +1,1 @@
+lib/blobstore/blobfs.ml: Array Bytes Dstruct Hashtbl Hw Queue Sdevice Sim Store

@@ -1,0 +1,1 @@
+lib/blobstore/blobfs.mli: Bytes Sdevice Store

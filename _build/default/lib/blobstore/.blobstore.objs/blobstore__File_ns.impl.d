@@ -1,0 +1,1 @@
+lib/blobstore/file_ns.ml: Hashtbl Store

@@ -1,0 +1,1 @@
+lib/blobstore/store.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/blobstore/store.mli:

@@ -1,0 +1,152 @@
+let psz = Hw.Defs.page_size
+
+type slot = {
+  data : Bytes.t;
+  mutable owner : int; (* packed (file_idx, page); -1 free *)
+  mutable dirty : bool;
+}
+
+type t = {
+  store : Store.t;
+  access : Sdevice.Access.t;
+  slots : slot array;
+  index : (int, int) Hashtbl.t; (* owner key -> slot *)
+  lru : Dstruct.Clock_lru.t;
+  free : int Queue.t;
+  lookup_cost : int64;
+  names : (string, int) Hashtbl.t; (* name -> file idx *)
+  mutable files : fileimpl array;
+  mutable s_hits : int;
+  mutable s_misses : int;
+}
+
+and fileimpl = { fidx : int; blob : Store.blob; fs : t }
+
+type file = fileimpl
+
+let create ~store ~access ~cache_pages ?(lookup_cost = 1200L) () =
+  if cache_pages <= 0 then invalid_arg "Blobfs.create";
+  let free = Queue.create () in
+  for i = 0 to cache_pages - 1 do
+    Queue.add i free
+  done;
+  {
+    store;
+    access;
+    slots =
+      Array.init cache_pages (fun _ ->
+          { data = Bytes.create psz; owner = -1; dirty = false });
+    index = Hashtbl.create (2 * cache_pages);
+    lru = Dstruct.Clock_lru.create ~nframes:cache_pages;
+    free;
+    lookup_cost;
+    names = Hashtbl.create 16;
+    files = [||];
+    s_hits = 0;
+    s_misses = 0;
+  }
+
+let open_file t ~name ~size_pages =
+  match Hashtbl.find_opt t.names name with
+  | Some idx -> t.files.(idx)
+  | None ->
+      let blob = Store.create_blob t.store ~name ~pages:size_pages () in
+      let f = { fidx = Array.length t.files; blob; fs = t } in
+      t.files <- Array.append t.files [| f |];
+      Hashtbl.replace t.names name f.fidx;
+      f
+
+let owner_key f page = (f.fidx * (1 lsl 40)) + page
+
+let charge t = Sim.Engine.delay ~cat:Sim.Engine.User ~label:"blobfs" t.lookup_cost
+
+let write_slot_back t slot_idx =
+  let s = t.slots.(slot_idx) in
+  if s.dirty && s.owner >= 0 then begin
+    let fidx = s.owner / (1 lsl 40) and page = s.owner mod (1 lsl 40) in
+    let f = t.files.(fidx) in
+    Sdevice.Access.write_page t.access ~page:(Store.device_page f.blob page)
+      ~src:s.data;
+    s.dirty <- false
+  end
+
+(* Get the cache slot holding [page] of [f], filling on a miss (and
+   writing back a dirty victim first). *)
+let get_slot f page =
+  let t = f.fs in
+  let key = owner_key f page in
+  charge t;
+  match Hashtbl.find_opt t.index key with
+  | Some slot ->
+      t.s_hits <- t.s_hits + 1;
+      Dstruct.Clock_lru.touch t.lru slot;
+      slot
+  | None ->
+      t.s_misses <- t.s_misses + 1;
+      let slot =
+        match Queue.take_opt t.free with
+        | Some s -> s
+        | None -> (
+            match Dstruct.Clock_lru.evict_candidates t.lru 1 with
+            | [ v ] ->
+                write_slot_back t v;
+                Hashtbl.remove t.index t.slots.(v).owner;
+                t.slots.(v).owner <- -1;
+                v
+            | _ -> failwith "Blobfs: cache exhausted")
+      in
+      let s = t.slots.(slot) in
+      Sdevice.Access.read_page t.access ~page:(Store.device_page f.blob page)
+        ~dst:s.data;
+      s.owner <- key;
+      s.dirty <- false;
+      Hashtbl.replace t.index key slot;
+      Dstruct.Clock_lru.set_active t.lru slot true;
+      Dstruct.Clock_lru.touch t.lru slot;
+      slot
+
+let check f ~off ~len =
+  if off < 0 || len < 0 || off + len > Store.blob_pages f.blob * psz then
+    invalid_arg "Blobfs: range outside file"
+
+let read f ~off ~len ~dst =
+  check f ~off ~len;
+  if Bytes.length dst < len then invalid_arg "Blobfs.read: dst too small";
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page = abs / psz and in_page = abs mod psz in
+    let chunk = min (len - !pos) (psz - in_page) in
+    let slot = get_slot f page in
+    Bytes.blit f.fs.slots.(slot).data in_page dst !pos chunk;
+    pos := !pos + chunk
+  done
+
+let write f ~off ~src =
+  let len = Bytes.length src in
+  check f ~off ~len;
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page = abs / psz and in_page = abs mod psz in
+    let chunk = min (len - !pos) (psz - in_page) in
+    let slot = get_slot f page in
+    let s = f.fs.slots.(slot) in
+    Bytes.blit src !pos s.data in_page chunk;
+    s.dirty <- true;
+    pos := !pos + chunk
+  done
+
+let fsync f =
+  let t = f.fs in
+  Array.iteri
+    (fun i s ->
+      if s.dirty && s.owner >= 0 && s.owner / (1 lsl 40) = f.fidx then
+        write_slot_back t i)
+    t.slots
+
+let cache_hits t = t.s_hits
+let cache_misses t = t.s_misses
+
+let dirty_blocks t =
+  Array.fold_left (fun acc s -> if s.dirty then acc + 1 else acc) 0 t.slots

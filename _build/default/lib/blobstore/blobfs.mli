@@ -1,0 +1,42 @@
+(** BlobFS-style buffered filesystem over the blobstore ([59], Section 3.3).
+
+    SPDK ships two file abstractions: the raw Blobstore (direct, unbuffered
+    — what Aquila uses) and BlobFS, which buffers file data in its own
+    user-space cache.  The paper points out that BlobFS-style designs pay
+    the user-space cache's lookup cost on every access — the overhead mmio
+    eliminates.  This module provides that buffered alternative so
+    experiments can compare all three access stacks over the same device.
+
+    Reads and writes are byte-granular; writes are buffered (dirty blocks)
+    and reach the device on {!fsync} or block eviction. *)
+
+type t
+type file
+
+val create :
+  store:Store.t ->
+  access:Sdevice.Access.t ->
+  cache_pages:int ->
+  ?lookup_cost:int64 ->
+  unit ->
+  t
+(** [create ~store ~access ~cache_pages ()] builds a BlobFS instance whose
+    cache holds [cache_pages] blocks.  [lookup_cost] (default 1200 cycles)
+    is the per-access cache software cost. *)
+
+val open_file : t -> name:string -> size_pages:int -> file
+(** Create-or-open, backed by a blob. *)
+
+val read : file -> off:int -> len:int -> dst:Bytes.t -> unit
+(** Buffered read; fiber-only. *)
+
+val write : file -> off:int -> src:Bytes.t -> unit
+(** Buffered write: dirties cached blocks; no device I/O until sync or
+    eviction. *)
+
+val fsync : file -> unit
+(** Write the file's dirty blocks to the device. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+val dirty_blocks : t -> int

@@ -1,0 +1,29 @@
+type t = { bs : Store.t; names : (string, int) Hashtbl.t }
+
+let create bs = { bs; names = Hashtbl.create 64 }
+
+let lookup t path =
+  match Hashtbl.find_opt t.names path with
+  | None -> None
+  | Some id -> Some (Store.open_blob t.bs id)
+
+let open_file t path ~size_pages =
+  match lookup t path with
+  | Some b ->
+      if Store.blob_pages b < size_pages then
+        Store.resize t.bs b ~pages:size_pages;
+      b
+  | None ->
+      let b = Store.create_blob t.bs ~name:path ~pages:size_pages () in
+      Hashtbl.replace t.names path (Store.blob_id b);
+      b
+
+let unlink t path =
+  match lookup t path with
+  | None -> false
+  | Some b ->
+      Store.delete t.bs b;
+      Hashtbl.remove t.names path;
+      true
+
+let files t = Hashtbl.fold (fun k _ acc -> k :: acc) t.names []

@@ -1,0 +1,22 @@
+(** File→blob translation layer.
+
+    Aquila intercepts [open]/[mmap] in non-root ring 0 and transparently
+    maps file paths onto Blobstore blobs (Section 3.3), giving unmodified
+    applications a flat-namespace file abstraction over SPDK. *)
+
+type t
+
+val create : Store.t -> t
+
+val open_file : t -> string -> size_pages:int -> Store.blob
+(** [open_file t path ~size_pages] returns the blob backing [path],
+    creating it (with room for [size_pages]) on first open.  An existing
+    blob is grown if smaller than [size_pages]. *)
+
+val lookup : t -> string -> Store.blob option
+
+val unlink : t -> string -> bool
+(** [unlink t path] deletes the file and its blob.  Returns whether the
+    path existed. *)
+
+val files : t -> string list

@@ -1,0 +1,1 @@
+lib/core/context.ml: Bytes Hw Int64 List Mcache Sim Syscalls Vma

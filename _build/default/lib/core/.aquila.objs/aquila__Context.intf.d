@@ -1,0 +1,1 @@
+lib/core/context.mli: Bytes Hw Mcache Sdevice Sim Syscalls Vma

@@ -1,0 +1,1 @@
+lib/core/syscalls.mli: Hw

@@ -1,0 +1,1 @@
+lib/core/vma.ml: Dstruct Hw Int64

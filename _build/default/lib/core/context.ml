@@ -1,0 +1,330 @@
+let psz = Hw.Defs.page_size
+
+type config = {
+  cache : Mcache.Dram_cache.config;
+  ept_granularity : int64;
+  readahead_normal : int;
+  readahead_sequential : int;
+  domain : Hw.Domain_x.t;
+}
+
+let default_config ~cache_frames =
+  {
+    cache = Mcache.Dram_cache.default_config ~frames:cache_frames;
+    ept_granularity = 2097152L;
+    readahead_normal = 0;
+    readahead_sequential = 32;
+    domain = Hw.Domain_x.Nonroot_ring0;
+  }
+
+type file = {
+  fid : int;
+  fname : string;
+  mutable size_pages : int;
+  translate : int -> int option;
+}
+
+type region = {
+  vstart : int;
+  npages : int;
+  rfile : file;
+  file_page0 : int;
+  area : Vma.area;
+}
+
+type t = {
+  ccosts : Hw.Costs.t;
+  cmachine : Hw.Machine.t;
+  pt : Hw.Page_table.t;
+  ept : Hw.Ept.t;
+  ccache : Mcache.Dram_cache.t;
+  vma : Vma.t;
+  dom : Hw.Domain_x.t;
+  cfg : config;
+  sys : Syscalls.t;
+  mutable next_vpn : int;
+  mutable next_fid : int;
+  mutable thread_cores : int list;
+  mutable s_accesses : int;
+  mutable s_faults : int;
+}
+
+let create ?(costs = Hw.Costs.default) ?machine cfg =
+  let machine = match machine with Some m -> m | None -> Hw.Machine.create () in
+  let pt = Hw.Page_table.create () in
+  {
+    ccosts = costs;
+    cmachine = machine;
+    pt;
+    ept = Hw.Ept.create ~granularity_bytes:cfg.ept_granularity ();
+    ccache = Mcache.Dram_cache.create ~costs ~machine ~page_table:pt cfg.cache;
+    vma = Vma.create costs;
+    dom = cfg.domain;
+    cfg;
+    sys = Syscalls.create ();
+    next_vpn = 256; (* leave a null guard region *)
+    next_fid = 1;
+    thread_cores = [];
+    s_accesses = 0;
+    s_faults = 0;
+  }
+
+let costs t = t.ccosts
+let machine t = t.cmachine
+let cache t = t.ccache
+let syscalls t = t.sys
+
+let enter_thread t =
+  let ctx = Sim.Engine.self () in
+  if not (List.mem ctx.Sim.Engine.core t.thread_cores) then begin
+    t.thread_cores <- ctx.Sim.Engine.core :: t.thread_cores;
+    Mcache.Dram_cache.set_shoot_cores t.ccache t.thread_cores
+  end;
+  (* vmlaunch into non-root ring 0 (Aquila mode only) *)
+  match t.dom with
+  | Hw.Domain_x.Nonroot_ring0 ->
+      Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"enter"
+        t.ccosts.Hw.Costs.vmcall_roundtrip
+  | Hw.Domain_x.Ring3 -> ()
+
+let attach_file t ~name ~access ~translate ~size_pages =
+  let f = { fid = t.next_fid; fname = name; size_pages; translate } in
+  ignore f.fname;
+  t.next_fid <- t.next_fid + 1;
+  Mcache.Dram_cache.register_file t.ccache ~file_id:f.fid ~access ~translate;
+  f
+
+let file_size_pages f = f.size_pages
+let file_id f = f.fid
+
+let mmap t file ?(file_page0 = 0) ~npages () =
+  if npages <= 0 || file_page0 < 0 || file_page0 + npages > file.size_pages then
+    invalid_arg "Context.mmap: range outside file";
+  Syscalls.intercepted t.sys t.ccosts "mmap";
+  let vstart = t.next_vpn in
+  t.next_vpn <- t.next_vpn + npages + 1 (* guard page *);
+  let area =
+    {
+      Vma.vstart;
+      npages;
+      file_id = file.fid;
+      file_page0;
+      advice = Vma.Normal;
+    }
+  in
+  let cost = Vma.insert t.vma area in
+  Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"vma" cost;
+  { vstart; npages; rfile = file; file_page0; area }
+
+let current_core () = (Sim.Engine.self ()).Sim.Engine.core
+
+let munmap t region =
+  Syscalls.intercepted t.sys t.ccosts "munmap";
+  let _, cost = Vma.remove t.vma ~vstart:region.vstart in
+  let buf = Sim.Costbuf.create () in
+  Sim.Costbuf.add buf "vma" cost;
+  let core = current_core () in
+  let vpns = ref [] in
+  for p = 0 to region.npages - 1 do
+    let vpn = region.vstart + p in
+    match Hw.Page_table.unmap t.pt ~vpn with
+    | Some pte ->
+        Mcache.Dram_cache.forget_mapping t.ccache ~pfn:pte.Hw.Page_table.pfn;
+        Sim.Costbuf.add buf "munmap" t.ccosts.Hw.Costs.pte_update;
+        vpns := vpn :: !vpns
+    | None -> ()
+  done;
+  (match !vpns with
+  | [] -> ()
+  | vpns ->
+      let own = (Hw.Machine.core t.cmachine core).Hw.Machine.tlb in
+      let local =
+        if List.length vpns > 33 then Hw.Tlb.flush own t.ccosts
+        else
+          List.fold_left
+            (fun acc vpn ->
+              Int64.add acc (Hw.Tlb.invalidate_local own t.ccosts ~vpn))
+            0L vpns
+      in
+      Sim.Costbuf.add buf "tlb" local;
+      Sim.Costbuf.add buf "tlb"
+        (Hw.Ipi.shootdown t.cmachine t.ccosts
+           ~mode:(Mcache.Dram_cache.config t.ccache).Mcache.Dram_cache.ipi_mode
+           ~src:core ~targets:t.thread_cores ~vpns));
+  Sim.Costbuf.charge buf
+
+let madvise t region advice =
+  Syscalls.intercepted t.sys t.ccosts "madvise";
+  region.area.Vma.advice <- advice
+
+let mprotect t region ~writable =
+  Syscalls.intercepted t.sys t.ccosts "mprotect";
+  let buf = Sim.Costbuf.create () in
+  let core = current_core () in
+  let vpns = ref [] in
+  for p = 0 to region.npages - 1 do
+    let vpn = region.vstart + p in
+    match Hw.Page_table.find t.pt ~vpn with
+    | Some pte when pte.Hw.Page_table.writable <> writable ->
+        (* downgrades take effect immediately (and need invalidation);
+           upgrades are applied lazily through the fault path so dirty
+           tracking stays intact *)
+        if not writable then begin
+          Hw.Page_table.set_writable t.pt ~vpn false;
+          Sim.Costbuf.add buf "mprotect" t.ccosts.Hw.Costs.pte_update;
+          vpns := vpn :: !vpns
+        end
+    | _ -> ()
+  done;
+  (match !vpns with
+  | [] -> ()
+  | vpns ->
+      let own = (Hw.Machine.core t.cmachine core).Hw.Machine.tlb in
+      let local =
+        if List.length vpns > 33 then Hw.Tlb.flush own t.ccosts
+        else
+          List.fold_left
+            (fun acc vpn ->
+              Int64.add acc (Hw.Tlb.invalidate_local own t.ccosts ~vpn))
+            0L vpns
+      in
+      Sim.Costbuf.add buf "tlb" local;
+      Sim.Costbuf.add buf "tlb"
+        (Hw.Ipi.shootdown t.cmachine t.ccosts
+           ~mode:(Mcache.Dram_cache.config t.ccache).Mcache.Dram_cache.ipi_mode
+           ~src:core ~targets:t.thread_cores ~vpns));
+  Sim.Costbuf.charge buf
+
+let msync t region =
+  Syscalls.intercepted t.sys t.ccosts "msync";
+  Mcache.Dram_cache.msync t.ccache ~core:(current_core ())
+    ~file:region.rfile.fid ()
+
+let mremap t region ~npages =
+  Syscalls.intercepted t.sys t.ccosts "mremap";
+  munmap t region;
+  mmap t region.rfile ~file_page0:region.file_page0 ~npages ()
+
+let region_npages r = r.npages
+
+let readahead_for t (area : Vma.area) =
+  match area.Vma.advice with
+  | Vma.Sequential | Vma.Willneed -> t.cfg.readahead_sequential
+  | Vma.Random | Vma.Dontneed -> 0
+  | Vma.Normal -> t.cfg.readahead_normal
+
+(* One page-granular access.  Returns the backing frame number.  Retries
+   when the freshly installed translation is stolen by a concurrent
+   eviction before the access completes, as a re-executed instruction
+   would. *)
+let rec touch_page ?(attempt = 0) t region ~page ~write buf =
+  if page < 0 || page >= region.npages then
+    invalid_arg "Context: access outside region";
+  if attempt > 100 then failwith "Aquila: access cannot make progress (thrash)";
+  let vpn = region.vstart + page in
+  let core = current_core () in
+  t.s_accesses <- t.s_accesses + 1;
+  let irq = Hw.Machine.drain_irq t.cmachine ~core in
+  Sim.Costbuf.add buf "irq" irq;
+  let own = (Hw.Machine.core t.cmachine core).Hw.Machine.tlb in
+  Sim.Costbuf.add buf "tlb_walk" (Hw.Tlb.access own t.ccosts ~vpn);
+  match Hw.Page_table.find t.pt ~vpn with
+  | Some pte when (not write) || pte.Hw.Page_table.writable ->
+      if write then pte.Hw.Page_table.dirty <- true;
+      pte.Hw.Page_table.pfn
+  | _ ->
+      t.s_faults <- t.s_faults + 1;
+      (* Exception in non-root ring 0: no protection-domain switch. *)
+      Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"trap"
+        (Hw.Domain_x.fault_transition_cost t.ccosts t.dom);
+      (* handler dispatch: register save, routing, exception-frame copy *)
+      Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"fault_entry" 250L;
+      let area_opt, vcost = Vma.lookup t.vma ~vpn in
+      Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"vma" vcost;
+      (match area_opt with
+      | None -> failwith "Aquila: fault outside any mapping (SIGSEGV)"
+      | Some area ->
+          let fpage = area.Vma.file_page0 + (vpn - area.Vma.vstart) in
+          let key = Mcache.Pagekey.make ~file:area.Vma.file_id ~page:fpage in
+          Mcache.Dram_cache.fault t.ccache ~readahead:(readahead_for t area)
+            ~core ~key ~vpn ~write ());
+      (match Hw.Page_table.find t.pt ~vpn with
+      | Some pte ->
+          (* EPT only exists under virtualization (Aquila mode). *)
+          (match t.dom with
+          | Hw.Domain_x.Nonroot_ring0 ->
+              let eptc =
+                Hw.Ept.touch t.ept t.ccosts
+                  ~gpa:(Int64.of_int (pte.Hw.Page_table.pfn * psz))
+              in
+              if Int64.compare eptc 0L > 0 then
+                Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"ept" eptc
+          | Hw.Domain_x.Ring3 -> ());
+          if write then pte.Hw.Page_table.dirty <- true;
+          pte.Hw.Page_table.pfn
+      | None ->
+          (* evicted again before we could use it: re-execute *)
+          touch_page ~attempt:(attempt + 1) t region ~page ~write buf)
+
+let touch t region ~page ~write =
+  let buf = Sim.Costbuf.create () in
+  ignore (touch_page t region ~page ~write buf);
+  Sim.Costbuf.charge buf
+
+let touch_buf t region ~page ~write ~buf =
+  ignore (touch_page t region ~page ~write buf)
+
+let read t region ~off ~len ~dst =
+  if off < 0 || len < 0 || off + len > region.npages * psz then
+    invalid_arg "Context.read: range outside region";
+  if Bytes.length dst < len then invalid_arg "Context.read: dst too small";
+  let buf = Sim.Costbuf.create () in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page = abs / psz and in_page = abs mod psz in
+    let chunk = min (len - !pos) (psz - in_page) in
+    let pfn = touch_page t region ~page ~write:false buf in
+    let data = Mcache.Dram_cache.pfn_data t.ccache pfn in
+    Bytes.blit data in_page dst !pos chunk;
+    pos := !pos + chunk
+  done;
+  Sim.Costbuf.charge buf
+
+let write t region ~off ~src =
+  let len = Bytes.length src in
+  if off < 0 || off + len > region.npages * psz then
+    invalid_arg "Context.write: range outside region";
+  let buf = Sim.Costbuf.create () in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page = abs / psz and in_page = abs mod psz in
+    let chunk = min (len - !pos) (psz - in_page) in
+    let pfn = touch_page t region ~page ~write:true buf in
+    let data = Mcache.Dram_cache.pfn_data t.ccache pfn in
+    Bytes.blit src !pos data in_page chunk;
+    pos := !pos + chunk
+  done;
+  Sim.Costbuf.charge buf
+
+let resize_cache t ~frames =
+  Syscalls.forwarded t.sys t.ccosts t.dom "cache_resize";
+  let current = Mcache.Dram_cache.frames_total t.ccache in
+  if frames > current then begin
+    let added = Mcache.Dram_cache.grow t.ccache ~frames:(frames - current) in
+    ignore added
+  end
+  else if frames < current then begin
+    let removed = Mcache.Dram_cache.shrink t.ccache ~frames:(current - frames) in
+    (* hypervisor reclaims the GPA range: drop its EPT mappings *)
+    let bytes = Int64.of_int (removed * psz) in
+    ignore
+      (Hw.Ept.unmap_range t.ept
+         ~gpa:(Int64.of_int (Mcache.Dram_cache.frames_total t.ccache * psz))
+         ~len:bytes)
+  end
+
+let accesses t = t.s_accesses
+let faults t = t.s_faults
+let ept_faults t = Hw.Ept.faults t.ept

@@ -1,0 +1,28 @@
+type t = {
+  mutable nintercepted : int;
+  mutable nforwarded : int;
+  counts : (string, int) Hashtbl.t;
+}
+
+let create () = { nintercepted = 0; nforwarded = 0; counts = Hashtbl.create 16 }
+
+let dispatch_cost = 80L (* handler dispatch: a function call, no domain switch *)
+
+let bump t name =
+  let c = try Hashtbl.find t.counts name with Not_found -> 0 in
+  Hashtbl.replace t.counts name (c + 1)
+
+let intercepted t _costs name =
+  t.nintercepted <- t.nintercepted + 1;
+  bump t name;
+  Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"syscall_dispatch" dispatch_cost
+
+let forwarded t costs dom name =
+  t.nforwarded <- t.nforwarded + 1;
+  bump t name;
+  Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"syscall_forward"
+    (Hw.Domain_x.syscall_cost costs dom)
+
+let intercepted_count t = t.nintercepted
+let forwarded_count t = t.nforwarded
+let by_name t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []

@@ -1,0 +1,23 @@
+(** System-call interception accounting (Section 4.4).
+
+    Aquila installs its own [MSR_LSTAR] handler: virtual-memory calls
+    ([mmap], [munmap], [mremap], [madvise], [mprotect], [msync]) are
+    handled in non-root ring 0 at function-call cost; everything else is
+    forwarded to the host OS with a vmcall. *)
+
+type t
+
+val create : unit -> t
+
+val intercepted : t -> Hw.Costs.t -> string -> unit
+(** [intercepted t c name] records a call handled in-place and charges the
+    (small) dispatch cost.  Must run inside a fiber. *)
+
+val forwarded : t -> Hw.Costs.t -> Hw.Domain_x.t -> string -> unit
+(** [forwarded t c dom name] records a call that leaves the current domain
+    and charges the transition ([syscall] from ring 3, vmcall round trip
+    from non-root ring 0). *)
+
+val intercepted_count : t -> int
+val forwarded_count : t -> int
+val by_name : t -> (string * int) list

@@ -1,0 +1,42 @@
+type advice = Normal | Random | Sequential | Willneed | Dontneed
+
+type area = {
+  vstart : int;
+  npages : int;
+  file_id : int;
+  file_page0 : int;
+  mutable advice : advice;
+}
+
+type t = { costs : Hw.Costs.t; tree : area Dstruct.Radix_tree.t }
+
+let create costs = { costs; tree = Dstruct.Radix_tree.create () }
+
+let lookup_cost t =
+  Int64.mul t.costs.Hw.Costs.radix_lookup
+    (Int64.of_int (Dstruct.Radix_tree.depth t.tree))
+
+let overlaps a b =
+  a.vstart < b.vstart + b.npages && b.vstart < a.vstart + a.npages
+
+let insert t a =
+  if a.npages <= 0 || a.vstart < 0 then invalid_arg "Vma.insert: bad area";
+  (* check the neighbours on both sides *)
+  (match Dstruct.Radix_tree.find_floor t.tree (a.vstart + a.npages - 1) with
+  | Some (_, prev) when overlaps a prev -> invalid_arg "Vma.insert: overlap"
+  | _ -> ());
+  ignore (Dstruct.Radix_tree.insert t.tree a.vstart a);
+  t.costs.Hw.Costs.radix_update
+
+let remove t ~vstart =
+  let old = Dstruct.Radix_tree.remove t.tree vstart in
+  (old, t.costs.Hw.Costs.radix_update)
+
+let lookup t ~vpn =
+  let cost = lookup_cost t in
+  match Dstruct.Radix_tree.find_floor t.tree vpn with
+  | Some (_, a) when vpn < a.vstart + a.npages -> (Some a, cost)
+  | _ -> (None, cost)
+
+let count t = Dstruct.Radix_tree.length t.tree
+let iter f t = Dstruct.Radix_tree.iter (fun _ a -> f a) t.tree

@@ -1,0 +1,35 @@
+(** Virtual memory area management over a radix tree (Section 3.4).
+
+    Aquila replaces Linux's [mmap_sem]-protected red-black VMA tree with a
+    radix tree, like RadixVM [13], so address-range lookups on the fault
+    path never contend on a process-wide lock.  Lookups return their cycle
+    cost for the caller to charge; updates are uncommon-path operations. *)
+
+type advice = Normal | Random | Sequential | Willneed | Dontneed
+(** [madvise] hints attached to an area. *)
+
+type area = {
+  vstart : int;  (** first virtual page of the area *)
+  npages : int;
+  file_id : int;
+  file_page0 : int;  (** file page mapped at [vstart] *)
+  mutable advice : advice;
+}
+
+type t
+
+val create : Hw.Costs.t -> t
+
+val insert : t -> area -> int64
+(** [insert t a] registers the area and returns the update cost.  Raises
+    [Invalid_argument] if [a] overlaps an existing area. *)
+
+val remove : t -> vstart:int -> area option * int64
+(** [remove t ~vstart] unregisters the area starting at [vstart]. *)
+
+val lookup : t -> vpn:int -> area option * int64
+(** [lookup t ~vpn] finds the area containing virtual page [vpn] — the
+    validity check every page fault performs — and its lookup cost. *)
+
+val count : t -> int
+val iter : (area -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/dstruct/clock_lru.ml: Bytes List

@@ -1,0 +1,1 @@
+lib/dstruct/clock_lru.mli:

@@ -1,0 +1,1 @@
+lib/dstruct/lockfree_hash.mli:

@@ -1,0 +1,1 @@
+lib/dstruct/radix_tree.mli:

@@ -1,0 +1,70 @@
+type t = {
+  referenced : Bytes.t;
+  active : Bytes.t;
+  pinned : Bytes.t;
+  nframes : int;
+  mutable hand : int;
+  mutable nactive : int;
+}
+
+let create ~nframes =
+  if nframes <= 0 then invalid_arg "Clock_lru.create: nframes";
+  {
+    referenced = Bytes.make nframes '\000';
+    active = Bytes.make nframes '\000';
+    pinned = Bytes.make nframes '\000';
+    nframes;
+    hand = 0;
+    nactive = 0;
+  }
+
+let check t f = if f < 0 || f >= t.nframes then invalid_arg "Clock_lru: bad frame"
+
+let get b f = Bytes.unsafe_get b f <> '\000'
+let set b f v = Bytes.unsafe_set b f (if v then '\001' else '\000')
+
+let touch t f =
+  check t f;
+  set t.referenced f true
+
+let set_active t f b =
+  check t f;
+  if get t.active f <> b then begin
+    set t.active f b;
+    t.nactive <- (if b then t.nactive + 1 else t.nactive - 1)
+  end
+
+let set_pinned t f b =
+  check t f;
+  set t.pinned f b
+
+let is_active t f =
+  check t f;
+  get t.active f
+
+let evict_candidates t n =
+  let victims = ref [] in
+  let found = ref 0 in
+  let steps = ref 0 in
+  let max_steps = 2 * t.nframes in
+  while !found < n && !steps < max_steps do
+    let f = t.hand in
+    t.hand <- (t.hand + 1) mod t.nframes;
+    incr steps;
+    if get t.active f && not (get t.pinned f) then begin
+      if get t.referenced f then set t.referenced f false
+      else begin
+        set t.active f false;
+        t.nactive <- t.nactive - 1;
+        victims := f :: !victims;
+        incr found
+      end
+    end
+  done;
+  List.rev !victims
+
+let active_count t = t.nactive
+
+let is_referenced t f =
+  check t f;
+  get t.referenced f

@@ -1,0 +1,35 @@
+(** CLOCK-based LRU approximation over a fixed set of frames.
+
+    Aquila "chooses which pages to evict via an approximation of LRU"
+    updated on page faults (Section 3.2).  Frames are integers in
+    [\[0, nframes)].  A fault on a resident frame sets its reference bit;
+    the eviction scan sweeps the clock hand, clearing reference bits and
+    collecting frames whose bit is already clear, skipping pinned and
+    inactive frames. *)
+
+type t
+
+val create : nframes:int -> t
+
+val touch : t -> int -> unit
+(** [touch t f] marks frame [f] recently used (fault-driven). *)
+
+val set_active : t -> int -> bool -> unit
+(** [set_active t f b] includes/excludes [f] from the eviction scan
+    (inactive = free or not holding a cache page). *)
+
+val set_pinned : t -> int -> bool -> unit
+(** Pinned frames (I/O in flight) are skipped by the scan. *)
+
+val is_active : t -> int -> bool
+
+val evict_candidates : t -> int -> int list
+(** [evict_candidates t n] sweeps the hand and returns up to [n] victim
+    frames in scan order, deactivating each.  Returns fewer than [n] only
+    when the scan cannot find enough unreferenced frames in two full
+    sweeps. *)
+
+val active_count : t -> int
+
+val is_referenced : t -> int -> bool
+(** [is_referenced t f] reads [f]'s reference bit (reclaim re-check). *)

@@ -1,0 +1,45 @@
+type 'a t = {
+  tbl : (int, 'a) Hashtbl.t;
+  mutable nlookups : int;
+  mutable nupdates : int;
+}
+
+let create ?(initial_buckets = 1024) () =
+  { tbl = Hashtbl.create initial_buckets; nlookups = 0; nupdates = 0 }
+
+let length t = Hashtbl.length t.tbl
+
+let find t k =
+  t.nlookups <- t.nlookups + 1;
+  Hashtbl.find_opt t.tbl k
+
+let mem t k =
+  t.nlookups <- t.nlookups + 1;
+  Hashtbl.mem t.tbl k
+
+let insert t k v =
+  t.nupdates <- t.nupdates + 1;
+  let old = Hashtbl.find_opt t.tbl k in
+  Hashtbl.replace t.tbl k v;
+  old
+
+let try_insert t k v =
+  t.nupdates <- t.nupdates + 1;
+  if Hashtbl.mem t.tbl k then false
+  else begin
+    Hashtbl.replace t.tbl k v;
+    true
+  end
+
+let remove t k =
+  t.nupdates <- t.nupdates + 1;
+  match Hashtbl.find_opt t.tbl k with
+  | Some v ->
+      Hashtbl.remove t.tbl k;
+      Some v
+  | None -> None
+
+let lookups t = t.nlookups
+let updates t = t.nupdates
+
+let iter f t = Hashtbl.iter f t.tbl

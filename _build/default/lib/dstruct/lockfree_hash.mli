@@ -1,0 +1,35 @@
+(** Lock-free hash table model (David et al., ASPLOS '15 style).
+
+    Aquila replaces the Linux page cache's lock-protected radix tree with
+    a lock-free hash table so that concurrent faulting threads never
+    serialize on a global lock (Sections 3.2 and 6.5).  In the simulator,
+    operations are genuinely non-blocking — no {!Sim.Sync.Mutex} — and the
+    constant per-operation costs (probe, CAS install/remove) are charged
+    by callers from {!Hw.Costs}.  Operation counters support experiment
+    reporting. *)
+
+type 'a t
+
+val create : ?initial_buckets:int -> unit -> 'a t
+val length : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val insert : 'a t -> int -> 'a -> 'a option
+(** [insert t k v] installs [k → v] with a CAS; returns the binding it
+    replaced, if any. *)
+
+val try_insert : 'a t -> int -> 'a -> bool
+(** [try_insert t k v] installs only if absent (the fault-handler race:
+    another thread may have brought the page in first).  Returns whether
+    this caller won. *)
+
+val remove : 'a t -> int -> 'a option
+
+val lookups : 'a t -> int
+val updates : 'a t -> int
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f] to every binding (administrative paths only —
+    iteration order is unspecified and uncosted). *)

@@ -1,0 +1,381 @@
+module Make (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+end) =
+struct
+  type key = Ord.t
+  type color = Red | Black
+
+  (* CLRS-style node with parent pointers and a shared nil sentinel.  The
+     sentinel's fields are self-referential and its color is Black. *)
+  type 'a node = {
+    mutable key : key;
+    mutable value : 'a;
+    mutable color : color;
+    mutable left : 'a node;
+    mutable right : 'a node;
+    mutable parent : 'a node;
+    nil : bool;
+  }
+
+  type 'a core = { mutable root : 'a node; nil_node : 'a node; mutable count : int }
+
+  let make_nil (dummy_key : key) (dummy_val : 'a) : 'a node =
+    let rec n =
+      {
+        key = dummy_key;
+        value = dummy_val;
+        color = Black;
+        left = n;
+        right = n;
+        parent = n;
+        nil = true;
+      }
+    in
+    n
+
+  (* The nil sentinel is created lazily on first insert, because we need a
+     key/value to populate its (never-read) fields. *)
+  type 'a state = Empty | Rooted of 'a core
+
+  type 'a t = { mutable st : 'a state }
+
+  let create () = { st = Empty }
+
+  let length t = match t.st with Empty -> 0 | Rooted r -> r.count
+  let is_empty t = length t = 0
+
+  let left_rotate r x =
+    let y = x.right in
+    x.right <- y.left;
+    if not y.left.nil then y.left.parent <- x;
+    y.parent <- x.parent;
+    if x.parent.nil then r.root <- y
+    else if x == x.parent.left then x.parent.left <- y
+    else x.parent.right <- y;
+    y.left <- x;
+    x.parent <- y
+
+  let right_rotate r x =
+    let y = x.left in
+    x.left <- y.right;
+    if not y.right.nil then y.right.parent <- x;
+    y.parent <- x.parent;
+    if x.parent.nil then r.root <- y
+    else if x == x.parent.right then x.parent.right <- y
+    else x.parent.left <- y;
+    y.right <- x;
+    x.parent <- y
+
+  let insert_fixup r z0 =
+    let z = ref z0 in
+    while !z.parent.color = Red do
+      let zp = !z.parent in
+      let zpp = zp.parent in
+      if zp == zpp.left then begin
+        let y = zpp.right in
+        if y.color = Red then begin
+          zp.color <- Black;
+          y.color <- Black;
+          zpp.color <- Red;
+          z := zpp
+        end
+        else begin
+          if !z == zp.right then begin
+            z := zp;
+            left_rotate r !z
+          end;
+          !z.parent.color <- Black;
+          !z.parent.parent.color <- Red;
+          right_rotate r !z.parent.parent
+        end
+      end
+      else begin
+        let y = zpp.left in
+        if y.color = Red then begin
+          zp.color <- Black;
+          y.color <- Black;
+          zpp.color <- Red;
+          z := zpp
+        end
+        else begin
+          if !z == zp.left then begin
+            z := zp;
+            right_rotate r !z
+          end;
+          !z.parent.color <- Black;
+          !z.parent.parent.color <- Red;
+          left_rotate r !z.parent.parent
+        end
+      end
+    done;
+    r.root.color <- Black
+
+  let insert t k v =
+    match t.st with
+    | Empty ->
+        let nil = make_nil k v in
+        let z = { key = k; value = v; color = Black; left = nil; right = nil; parent = nil; nil = false } in
+        t.st <- Rooted { root = z; nil_node = nil; count = 1 };
+        None
+    | Rooted r ->
+        let y = ref r.nil_node and x = ref r.root in
+        let existing = ref None in
+        while (not !x.nil) && !existing = None do
+          y := !x;
+          let c = Ord.compare k !x.key in
+          if c = 0 then existing := Some !x
+          else if c < 0 then x := !x.left
+          else x := !x.right
+        done;
+        (match !existing with
+        | Some n ->
+            let old = n.value in
+            n.value <- v;
+            Some old
+        | None ->
+            let z =
+              {
+                key = k;
+                value = v;
+                color = Red;
+                left = r.nil_node;
+                right = r.nil_node;
+                parent = !y;
+                nil = false;
+              }
+            in
+            if !y.nil then r.root <- z
+            else if Ord.compare k !y.key < 0 then !y.left <- z
+            else !y.right <- z;
+            r.count <- r.count + 1;
+            insert_fixup r z;
+            None)
+
+  let find_node r k =
+    let x = ref r.root in
+    let res = ref None in
+    while (not !x.nil) && !res = None do
+      let c = Ord.compare k !x.key in
+      if c = 0 then res := Some !x
+      else if c < 0 then x := !x.left
+      else x := !x.right
+    done;
+    !res
+
+  let find t k =
+    match t.st with
+    | Empty -> None
+    | Rooted r -> (
+        match find_node r k with Some n -> Some n.value | None -> None)
+
+  let rec minimum x = if x.left.nil then x else minimum x.left
+
+  let transplant r u v =
+    if u.parent.nil then r.root <- v
+    else if u == u.parent.left then u.parent.left <- v
+    else u.parent.right <- v;
+    v.parent <- u.parent
+
+  let delete_fixup r x0 =
+    let x = ref x0 in
+    while (not (!x == r.root)) && !x.color = Black do
+      if !x == !x.parent.left then begin
+        let w = ref !x.parent.right in
+        if !w.color = Red then begin
+          !w.color <- Black;
+          !x.parent.color <- Red;
+          left_rotate r !x.parent;
+          w := !x.parent.right
+        end;
+        if !w.left.color = Black && !w.right.color = Black then begin
+          !w.color <- Red;
+          x := !x.parent
+        end
+        else begin
+          if !w.right.color = Black then begin
+            !w.left.color <- Black;
+            !w.color <- Red;
+            right_rotate r !w;
+            w := !x.parent.right
+          end;
+          !w.color <- !x.parent.color;
+          !x.parent.color <- Black;
+          !w.right.color <- Black;
+          left_rotate r !x.parent;
+          x := r.root
+        end
+      end
+      else begin
+        let w = ref !x.parent.left in
+        if !w.color = Red then begin
+          !w.color <- Black;
+          !x.parent.color <- Red;
+          right_rotate r !x.parent;
+          w := !x.parent.left
+        end;
+        if !w.right.color = Black && !w.left.color = Black then begin
+          !w.color <- Red;
+          x := !x.parent
+        end
+        else begin
+          if !w.left.color = Black then begin
+            !w.right.color <- Black;
+            !w.color <- Red;
+            left_rotate r !w;
+            w := !x.parent.left
+          end;
+          !w.color <- !x.parent.color;
+          !x.parent.color <- Black;
+          !w.left.color <- Black;
+          right_rotate r !x.parent;
+          x := r.root
+        end
+      end
+    done;
+    !x.color <- Black
+
+  let delete_node r z =
+    let y = ref z in
+    let y_original_color = ref !y.color in
+    let x = ref r.nil_node in
+    if z.left.nil then begin
+      x := z.right;
+      transplant r z z.right
+    end
+    else if z.right.nil then begin
+      x := z.left;
+      transplant r z z.left
+    end
+    else begin
+      let m = minimum z.right in
+      y := m;
+      y_original_color := m.color;
+      x := m.right;
+      if m.parent == z then !x.parent <- m
+      else begin
+        transplant r m m.right;
+        m.right <- z.right;
+        m.right.parent <- m
+      end;
+      transplant r z m;
+      m.left <- z.left;
+      m.left.parent <- m;
+      m.color <- z.color
+    end;
+    r.count <- r.count - 1;
+    if !y_original_color = Black then delete_fixup r !x
+
+  let remove t k =
+    match t.st with
+    | Empty -> None
+    | Rooted r -> (
+        match find_node r k with
+        | None -> None
+        | Some z ->
+            let v = z.value in
+            delete_node r z;
+            Some v)
+
+  let min_binding t =
+    match t.st with
+    | Empty -> None
+    | Rooted r ->
+        if r.root.nil then None
+        else
+          let m = minimum r.root in
+          Some (m.key, m.value)
+
+  let pop_min t =
+    match t.st with
+    | Empty -> None
+    | Rooted r ->
+        if r.root.nil then None
+        else begin
+          let m = minimum r.root in
+          let kv = (m.key, m.value) in
+          delete_node r m;
+          Some kv
+        end
+
+  let find_ge t k =
+    match t.st with
+    | Empty -> None
+    | Rooted r ->
+        let best = ref None in
+        let x = ref r.root in
+        while not !x.nil do
+          let c = Ord.compare k !x.key in
+          if c = 0 then begin
+            best := Some (!x.key, !x.value);
+            x := r.nil_node
+          end
+          else if c < 0 then begin
+            best := Some (!x.key, !x.value);
+            x := !x.left
+          end
+          else x := !x.right
+        done;
+        !best
+
+  let iter f t =
+    match t.st with
+    | Empty -> ()
+    | Rooted r ->
+        let rec go n =
+          if not n.nil then begin
+            go n.left;
+            f n.key n.value;
+            go n.right
+          end
+        in
+        go r.root
+
+  let fold f t acc =
+    let acc = ref acc in
+    iter (fun k v -> acc := f k v !acc) t;
+    !acc
+
+  let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+  let depth_estimate t =
+    let n = length t in
+    let rec lg acc n = if n <= 1 then acc else lg (acc + 1) (n / 2) in
+    lg 1 n
+
+  let check_invariants t =
+    match t.st with
+    | Empty -> Ok ()
+    | Rooted r ->
+        let exception Violation of string in
+        (* Returns the black-height of [n]; raises on violation. *)
+        let rec go n lo hi =
+          if n.nil then 1
+          else begin
+            (match lo with
+            | Some l when Ord.compare n.key l <= 0 ->
+                raise (Violation "BST order violated (left bound)")
+            | _ -> ());
+            (match hi with
+            | Some h when Ord.compare n.key h >= 0 ->
+                raise (Violation "BST order violated (right bound)")
+            | _ -> ());
+            if n.color = Red && (n.left.color = Red || n.right.color = Red) then
+              raise (Violation "red node with red child");
+            let bl = go n.left lo (Some n.key) in
+            let br = go n.right (Some n.key) hi in
+            if bl <> br then raise (Violation "black-height mismatch");
+            bl + (if n.color = Black then 1 else 0)
+          end
+        in
+        (try
+           if r.root.color <> Black then raise (Violation "root is not black");
+           ignore (go r.root None None);
+           (* count consistency *)
+           let c = ref 0 in
+           iter (fun _ _ -> incr c) t;
+           if !c <> r.count then raise (Violation "count mismatch");
+           Ok ()
+         with Violation m -> Error m)
+end

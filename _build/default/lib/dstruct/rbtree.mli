@@ -1,0 +1,50 @@
+(** Imperative red-black tree (CLRS-style, with parent pointers).
+
+    Used where the paper's systems use kernel red-black trees: Aquila's
+    per-core dirty-page trees sorted by device offset (Section 3.2) and
+    Linux's VMA tree.  Mutating operations are O(log n); {!pop_min}
+    supports write-back in ascending device-offset order. *)
+
+module Make (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+end) : sig
+  type key = Ord.t
+  type 'a t
+
+  val create : unit -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val insert : 'a t -> key -> 'a -> 'a option
+  (** [insert t k v] binds [k] to [v]; returns the previous binding if [k]
+      was present (which is replaced). *)
+
+  val find : 'a t -> key -> 'a option
+
+  val remove : 'a t -> key -> 'a option
+  (** [remove t k] deletes and returns [k]'s binding, if any. *)
+
+  val min_binding : 'a t -> (key * 'a) option
+
+  val pop_min : 'a t -> (key * 'a) option
+  (** [pop_min t] removes and returns the smallest binding. *)
+
+  val find_ge : 'a t -> key -> (key * 'a) option
+  (** [find_ge t k] is the smallest binding with key ≥ [k]. *)
+
+  val iter : (key -> 'a -> unit) -> 'a t -> unit
+  (** In-order traversal. *)
+
+  val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  val to_list : 'a t -> (key * 'a) list
+
+  val depth_estimate : 'a t -> int
+  (** [depth_estimate t] ≈ ⌈log₂ (length + 1)⌉, the node visits of one
+      descent; used by cost models. *)
+
+  val check_invariants : 'a t -> (unit, string) result
+  (** Validates BST ordering, red-red freedom, and black-height balance;
+      for property tests. *)
+end

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Int64 List Microbench Printf Scenario Sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Hw Int64 Kvstore List Printf Scenario Sim Stats Ycsb

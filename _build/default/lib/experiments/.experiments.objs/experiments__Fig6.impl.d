@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Aquila Blobstore Int64 Lazy Ligra Linux_sim List Option Printf Scenario Sim Stats

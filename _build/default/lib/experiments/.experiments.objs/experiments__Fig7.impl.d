@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Fig5 List Printf Stats

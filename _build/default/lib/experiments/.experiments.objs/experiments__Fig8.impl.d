@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Aquila Blobstore Hw Int64 List Microbench Printf Scenario Sdevice Sim Stats

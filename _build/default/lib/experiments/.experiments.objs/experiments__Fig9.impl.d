@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Aquila Hw Int64 Kvstore List Option Printf Scenario Sim Stats Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/microbench.ml: Aquila Array Blobstore Int64 Linux_sim List Mcache Option Printf Scenario Sim Stats

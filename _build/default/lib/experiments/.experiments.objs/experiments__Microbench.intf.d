@@ -1,0 +1,1 @@
+lib/experiments/microbench.mli: Scenario Sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Fig10 Fig5 Fig6 Fig7 Fig8 Fig9 List Printf Scenario Table1

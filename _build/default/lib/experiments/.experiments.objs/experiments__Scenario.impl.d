@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Aquila Blobstore Fun Hw Int64 Kvstore Linux_sim Mcache Sdevice Uspace Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Aquila Blobstore Hw Kvstore Linux_sim Mcache Sdevice Uspace Ycsb

@@ -1,0 +1,107 @@
+(* Figure 10: scalability of Aquila vs Linux mmap, shared file vs file per
+   thread, dataset fitting / not fitting in memory. *)
+
+let thread_counts = [ 1; 2; 4; 8; 16; 32 ]
+let dataset_pages = 25600 (* "100 GB" scaled *)
+
+type cell = { thr : float; avg : float; p99 : float; p999 : float }
+
+let run_one ~fits ~shared ~aquila ~threads =
+  let eng = Sim.Engine.create () in
+  let frames = if fits then dataset_pages + 1024 else 2048 in
+  let sys =
+    if aquila then
+      Microbench.Aq (Scenario.make_aquila ~frames ~dev:Scenario.Pmem ())
+    else
+      Microbench.Lx (Scenario.make_linux ~readahead:1 ~frames ~dev:Scenario.Pmem ())
+  in
+  let file_pages = if shared then dataset_pages else dataset_pages / threads in
+  let pattern, ops =
+    if fits then (Microbench.Permutation, dataset_pages / threads)
+    else (Microbench.Uniform, 4000)
+  in
+  let r =
+    Microbench.run ~eng ~sys ~file_pages ~shared ~threads ~ops_per_thread:ops
+      ~pattern ()
+  in
+  {
+    thr = r.Microbench.throughput_ops_s;
+    avg = Stats.Histogram.mean r.Microbench.latency;
+    p99 = Int64.to_float (Stats.Histogram.percentile r.Microbench.latency 99.);
+    p999 = Int64.to_float (Stats.Histogram.percentile r.Microbench.latency 99.9);
+  }
+
+let run_case ~fits ~title ~paper_note =
+  let rows =
+    List.map
+      (fun threads ->
+        let ls = run_one ~fits ~shared:true ~aquila:false ~threads in
+        let as_ = run_one ~fits ~shared:true ~aquila:true ~threads in
+        let lp = run_one ~fits ~shared:false ~aquila:false ~threads in
+        let ap = run_one ~fits ~shared:false ~aquila:true ~threads in
+        (threads, ls, as_, lp, ap))
+      thread_counts
+  in
+  Stats.Table_fmt.print_table ~title
+    ~header:
+      [
+        "threads";
+        "linux-shared";
+        "aquila-shared";
+        "speedup";
+        "linux-private";
+        "aquila-private";
+        "speedup";
+      ]
+    (List.map
+       (fun (t, ls, as_, lp, ap) ->
+         [
+           string_of_int t;
+           Stats.Table_fmt.ops_per_sec ls.thr;
+           Stats.Table_fmt.ops_per_sec as_.thr;
+           Stats.Table_fmt.speedup (as_.thr /. ls.thr);
+           Stats.Table_fmt.ops_per_sec lp.thr;
+           Stats.Table_fmt.ops_per_sec ap.thr;
+           Stats.Table_fmt.speedup (ap.thr /. lp.thr);
+         ])
+       rows);
+  Printf.printf "%s\n" paper_note;
+  (* latency detail at the extremes, as reported in Section 6.5 *)
+  (match (List.nth_opt rows 0, List.nth_opt rows (List.length rows - 1)) with
+  | Some (t1, ls1, as1, _, _), Some (tn, lsn, asn, lpn, apn) ->
+      Printf.printf
+        "latency shared file: %d thr avg %.2fx, p99 %.2fx, p99.9 %.2fx lower; %d thr \
+         avg %.2fx, p99 %.2fx, p99.9 %.2fx lower\n"
+        t1 (ls1.avg /. as1.avg)
+        (ls1.p99 /. as1.p99)
+        (ls1.p999 /. as1.p999)
+        tn (lsn.avg /. asn.avg)
+        (lsn.p99 /. asn.p99)
+        (lsn.p999 /. asn.p999);
+      Printf.printf
+        "latency private files at %d thr: avg %.2fx, p99 %.2fx, p99.9 %.2fx lower\n" tn
+        (lpn.avg /. apn.avg)
+        (lpn.p99 /. apn.p99)
+        (lpn.p999 /. apn.p999)
+  | _ -> ());
+  rows
+
+let run_a () =
+  ignore
+    (run_case ~fits:true
+       ~title:
+         "Figure 10(a): random-read scalability, dataset fits in memory (first-touch \
+          faults, pmem)"
+       ~paper_note:
+         "paper: shared file 1.81x (1 thr) -> 8.37x (32 thr); private files 1.82x -> \
+          1.99x")
+
+let run_b () =
+  ignore
+    (run_case ~fits:false
+       ~title:
+         "Figure 10(b): random-read scalability, dataset 12.5x of memory (evictions, \
+          pmem)"
+       ~paper_note:
+         "paper: shared file 2.17x (1 thr) -> 12.92x (32 thr); private files 2.21x -> \
+          2.84x")

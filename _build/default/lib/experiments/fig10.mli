@@ -1,0 +1,6 @@
+(** Figure 10: scalability of Aquila vs Linux mmap under the random-read
+    microbenchmark, 1-32 threads, shared file vs file per thread, with the
+    dataset fitting in memory (a) or 12.5x larger (b). *)
+
+val run_a : unit -> unit
+val run_b : unit -> unit

@@ -1,0 +1,5 @@
+(** Figure 7: RocksDB cycles-per-operation breakdown for reads — device
+    I/O vs cache management vs store-side get compute, comparing the
+    user-space-cache configuration with Aquila mmio. *)
+
+val run : unit -> unit

@@ -1,0 +1,10 @@
+(** Figure 8: page-fault overhead breakdowns.
+
+    (a) dataset fits in memory (pure fault cost, Linux vs Aquila);
+    (b) evictions in the common path;
+    (c) device-access methods inside Aquila (Cache-Hit, DAX-pmem,
+    HOST-pmem, SPDK-NVMe, HOST-NVMe). *)
+
+val run_a : unit -> unit
+val run_b : unit -> unit
+val run_c : unit -> unit

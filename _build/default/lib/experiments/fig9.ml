@@ -1,0 +1,88 @@
+(* Figure 9: Kreon over kmmap vs Kreon over Aquila, all YCSB workloads,
+   single thread, dataset 2x the cache. *)
+
+let records = 16384
+let value_bytes = 1024
+let cache_frames = 2048
+let ops = 600
+
+let build ~eng ~kmmap ~dev =
+  let domain = if kmmap then Hw.Domain_x.Ring3 else Hw.Domain_x.Nonroot_ring0 in
+  let s = Scenario.make_aquila ~domain ~frames:cache_frames ~dev () in
+  let db = ref None in
+  ignore
+    (Sim.Engine.spawn eng ~name:"kreon-load" ~core:0 (fun () ->
+         Aquila.Context.enter_thread s.Scenario.a_ctx;
+         let d =
+           Kvstore.Kreon_sim.create ~ctx:s.Scenario.a_ctx
+             ~access:s.Scenario.a_access ~store:s.Scenario.a_store
+             ~expected_records:(records * 2) ~value_bytes ()
+         in
+         db := Some d));
+  Sim.Engine.run eng;
+  let d = Option.get !db in
+  Ycsb.Runner.load ~eng ~record_count:records ~value_bytes
+    ~insert:(fun k v -> Kvstore.Kreon_sim.put d k v)
+    ~finish:(fun () ->
+      Kvstore.Kreon_sim.spill d;
+      Kvstore.Kreon_sim.msync d)
+    ();
+  d
+
+type meas = { thr : float; avg : float; p999 : float }
+
+let run_one ~kmmap ~dev ~workload =
+  let eng = Sim.Engine.create () in
+  let db = build ~eng ~kmmap ~dev in
+  let r =
+    Ycsb.Runner.run ~eng ~threads:1 ~ops_per_thread:ops ~workload
+      ~record_count:records ~value_bytes ~kv:(Scenario.kv_of_kreon db) ()
+  in
+  {
+    thr = r.Ycsb.Runner.throughput_ops_s;
+    avg = Stats.Histogram.mean r.Ycsb.Runner.latency;
+    p999 = Int64.to_float (Stats.Histogram.percentile r.Ycsb.Runner.latency 99.9);
+  }
+
+let run () =
+  let workloads = Ycsb.Workload.all in
+  let run_dev dev =
+    let rows =
+      List.map
+        (fun w ->
+          let k = run_one ~kmmap:true ~dev ~workload:w in
+          let a = run_one ~kmmap:false ~dev ~workload:w in
+          ( w.Ycsb.Workload.name,
+            [
+              w.Ycsb.Workload.name;
+              Stats.Table_fmt.ops_per_sec k.thr;
+              Stats.Table_fmt.ops_per_sec a.thr;
+              Stats.Table_fmt.speedup (a.thr /. k.thr);
+              Stats.Table_fmt.speedup (k.avg /. a.avg);
+              Stats.Table_fmt.speedup (k.p999 /. a.p999);
+            ],
+            (a.thr /. k.thr, k.avg /. a.avg, k.p999 /. a.p999) ))
+        workloads
+    in
+    Stats.Table_fmt.print_table
+      ~title:
+        (Printf.sprintf
+           "Figure 9 (%s): Kreon kmmap vs Aquila, YCSB A-F, 1 thread, dataset 2x \
+            cache"
+           (Scenario.dev_name dev))
+      ~header:
+        [ "workload"; "kmmap"; "Aquila"; "thr ratio"; "avg-lat ratio"; "p99.9 ratio" ]
+      (List.map (fun (_, r, _) -> r) rows);
+    let avg f =
+      List.fold_left (fun acc (_, _, t) -> acc +. f t) 0. rows
+      /. float_of_int (List.length rows)
+    in
+    Printf.printf "geometric-ish mean: thr %.2fx, avg latency %.2fx, p99.9 %.2fx\n"
+      (avg (fun (t, _, _) -> t))
+      (avg (fun (_, l, _) -> l))
+      (avg (fun (_, _, p) -> p))
+  in
+  run_dev Scenario.Nvme;
+  Printf.printf "paper (NVMe): ~1.02x throughput (device-bound), 1.29x avg, 3.78x p99.9\n";
+  run_dev Scenario.Pmem;
+  Printf.printf "paper (pmem): 1.22x throughput, 1.43x avg, 13.72x p99.9\n"

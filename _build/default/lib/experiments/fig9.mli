@@ -1,0 +1,5 @@
+(** Figure 9: Kreon over its in-kernel [kmmap] path vs Kreon over Aquila,
+    all YCSB workloads, single thread, dataset twice the cache size, on
+    NVMe and pmem. *)
+
+val run : unit -> unit

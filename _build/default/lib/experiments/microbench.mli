@@ -1,0 +1,54 @@
+(** The paper's custom mmio microbenchmark (Section 5): a configurable
+    number of threads issuing loads/stores at random offsets of a
+    memory-mapped file, with every access potentially faulting.  Drives
+    Figures 8(a), 8(b) and 10. *)
+
+type sys = Aq of Scenario.aquila_stack | Lx of Scenario.linux_stack
+
+val sys_name : sys -> string
+
+type result = {
+  ops : int;
+  elapsed_cycles : int64;
+  throughput_ops_s : float;
+  latency : Stats.Histogram.t;
+  breakdown : Stats.Breakdown.t;
+  faults : int;
+  evictions : int;
+}
+
+type pattern =
+  | Uniform  (** random pages with replacement (steady-state misses) *)
+  | Permutation
+      (** every page exactly once in random order — each access faults, as
+          the paper's microbenchmark ensures; with a shared file the page
+          range is partitioned across threads *)
+
+val run :
+  eng:Sim.Engine.t ->
+  sys:sys ->
+  file_pages:int ->
+  shared:bool ->
+  threads:int ->
+  ops_per_thread:int ->
+  ?write_fraction:float ->
+  ?pattern:pattern ->
+  ?seed:int ->
+  unit ->
+  result
+(** [run ~eng ~sys ~file_pages ~shared ~threads ~ops_per_thread ()] maps
+    either one shared file of [file_pages] pages or one such file per
+    thread, then performs random page touches ([pattern] defaults to
+    [Uniform]; [Permutation] caps [ops_per_thread] at the per-thread page
+    share).  Must be given a fresh engine and stack. *)
+
+(** {1 Building blocks for custom microbenchmarks (Figure 8(c))} *)
+
+type region_ops = { touch : page:int -> write:bool -> unit }
+
+val make_region : sys -> name:string -> pages:int -> region_ops
+(** Allocate, attach and map a file on the stack; fiber-only. *)
+
+val enter : sys -> unit
+(** Per-thread entry ({!Aquila.Context.enter_thread} or the Linux
+    equivalent); fiber-only. *)

@@ -1,0 +1,32 @@
+type entry = { id : string; title : string; run : unit -> unit }
+
+let all =
+  [
+    { id = "table1"; title = "Standard YCSB workloads"; run = Table1.run };
+    {
+      id = "fig5a";
+      title = "RocksDB YCSB-C, dataset fits in the cache";
+      run = Fig5.run_a;
+    };
+    { id = "fig5b"; title = "RocksDB YCSB-C, dataset 4x the cache"; run = Fig5.run_b };
+    { id = "fig6a"; title = "Ligra BFS, small DRAM cache"; run = Fig6.run_a };
+    { id = "fig6b"; title = "Ligra BFS, large DRAM cache"; run = Fig6.run_b };
+    { id = "fig6c"; title = "Ligra BFS time breakdown"; run = Fig6.run_c };
+    { id = "fig7"; title = "RocksDB read-path cycle breakdown"; run = Fig7.run };
+    { id = "fig8a"; title = "Page-fault breakdown, in-memory"; run = Fig8.run_a };
+    { id = "fig8b"; title = "Page-fault breakdown with evictions"; run = Fig8.run_b };
+    { id = "fig8c"; title = "Device access methods"; run = Fig8.run_c };
+    { id = "fig9"; title = "Kreon kmmap vs Aquila, YCSB A-F"; run = Fig9.run };
+    { id = "fig10a"; title = "Scalability, dataset fits in memory"; run = Fig10.run_a };
+    { id = "fig10b"; title = "Scalability, dataset 12.5x memory"; run = Fig10.run_b };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all () =
+  Printf.printf "Aquila reproduction — %s\n" Scenario.scale_note;
+  List.iter
+    (fun e ->
+      Printf.printf "\n### %s: %s\n%!" e.id e.title;
+      e.run ())
+    all

@@ -1,0 +1,16 @@
+(** Experiment registry: every table and figure of the paper's evaluation,
+    addressable by id for the CLI and the benchmark harness. *)
+
+type entry = {
+  id : string;  (** e.g. "fig8a" *)
+  title : string;
+  run : unit -> unit;  (** prints the paper-style table(s) on stdout *)
+}
+
+val all : entry list
+(** In paper order: table1, fig5a, fig5b, fig6a, fig6b, fig6c, fig7,
+    fig8a, fig8b, fig8c, fig9, fig10a, fig10b. *)
+
+val find : string -> entry option
+val run_all : unit -> unit
+(** Runs every experiment, with the scale note printed once up front. *)

@@ -1,0 +1,141 @@
+type dev = Pmem | Nvme
+
+let dev_name = function Pmem -> "pmem" | Nvme -> "NVMe"
+
+let costs = Hw.Costs.default
+let psz = Hw.Defs.page_size
+let device_pages = 131072 (* 512 MiB of device space, scaled from 375 GB *)
+
+let fresh_device dev =
+  match dev with
+  | Pmem ->
+      let p =
+        Sdevice.Pmem.create
+          ~capacity_bytes:(Int64.of_int (device_pages * psz))
+          ()
+      in
+      `P p
+  | Nvme ->
+      let n =
+        Sdevice.Nvme.create ~capacity_bytes:(Int64.of_int (device_pages * psz)) ()
+      in
+      `N n
+
+type aquila_stack = {
+  a_ctx : Aquila.Context.t;
+  a_store : Blobstore.Store.t;
+  a_access : Sdevice.Access.t;
+  a_machine : Hw.Machine.t;
+}
+
+let aquila_access ~domain dev =
+  match (dev, domain) with
+  | `P p, Hw.Domain_x.Nonroot_ring0 -> Sdevice.Access.dax_pmem costs p
+  | `N n, Hw.Domain_x.Nonroot_ring0 -> Sdevice.Access.spdk_nvme costs n
+  (* kmmap: the kernel's own mmio path reaches devices from ring 0 *)
+  | `P p, Hw.Domain_x.Ring3 ->
+      Sdevice.Access.host_pmem costs ~entry:Sdevice.Access.In_kernel p
+  | `N n, Hw.Domain_x.Ring3 ->
+      Sdevice.Access.host_nvme costs ~entry:Sdevice.Access.In_kernel n
+
+let make_aquila ?(domain = Hw.Domain_x.Nonroot_ring0) ?(tweak = Fun.id) ~frames
+    ~dev () =
+  let machine = Hw.Machine.create () in
+  let device = fresh_device dev in
+  let access = aquila_access ~domain device in
+  let store = Blobstore.Store.create ~capacity_pages:device_pages () in
+  let cfg =
+    {
+      (Aquila.Context.default_config ~cache_frames:frames) with
+      Aquila.Context.cache = tweak (Mcache.Dram_cache.default_config ~frames);
+      domain;
+    }
+  in
+  let ctx = Aquila.Context.create ~costs ~machine cfg in
+  { a_ctx = ctx; a_store = store; a_access = access; a_machine = machine }
+
+let make_aquila_access ?(domain = Hw.Domain_x.Nonroot_ring0) ?(frames = 2048)
+    ~access () =
+  let machine = Hw.Machine.create () in
+  let store = Blobstore.Store.create ~capacity_pages:device_pages () in
+  let cfg =
+    { (Aquila.Context.default_config ~cache_frames:frames) with domain }
+  in
+  let ctx = Aquila.Context.create ~costs ~machine cfg in
+  {
+    a_ctx = ctx;
+    a_store = store;
+    a_access = access costs (Some store);
+    a_machine = machine;
+  }
+
+type linux_stack = {
+  l_msys : Linux_sim.Mmap_sys.t;
+  l_store : Blobstore.Store.t;
+  l_access : Sdevice.Access.t;
+  l_machine : Hw.Machine.t;
+}
+
+let host_access ~entry dev =
+  match dev with
+  | `P p -> Sdevice.Access.host_pmem costs ~entry p
+  | `N n -> Sdevice.Access.host_nvme costs ~entry n
+
+let make_linux ?(readahead = 32) ~frames ~dev () =
+  let machine = Hw.Machine.create () in
+  let device = fresh_device dev in
+  let access = host_access ~entry:Sdevice.Access.In_kernel device in
+  let store = Blobstore.Store.create ~capacity_pages:device_pages () in
+  let cfg =
+    {
+      Linux_sim.Mmap_sys.cache =
+        { (Linux_sim.Page_cache.default_config ~frames) with readahead };
+      vma_rb_cost_multiplier = 1;
+    }
+  in
+  let msys = Linux_sim.Mmap_sys.create ~costs ~machine cfg in
+  { l_msys = msys; l_store = store; l_access = access; l_machine = machine }
+
+type ucache_stack = {
+  u_cache : Uspace.User_cache.t;
+  u_store : Blobstore.Store.t;
+  u_access : Sdevice.Access.t;
+}
+
+let make_ucache ~cache_pages ~dev () =
+  let device = fresh_device dev in
+  let access = host_access ~entry:Sdevice.Access.From_user device in
+  let store = Blobstore.Store.create ~capacity_pages:device_pages () in
+  let ucache =
+    Uspace.User_cache.create
+      (Uspace.User_cache.default_config ~capacity_pages:cache_pages)
+  in
+  { u_cache = ucache; u_store = store; u_access = access }
+
+let kv_of_rocksdb db =
+  {
+    Ycsb.Runner.kv_read = (fun k -> Kvstore.Rocksdb_sim.get db k);
+    kv_update = (fun k v -> Kvstore.Rocksdb_sim.put db k v);
+    kv_insert = (fun k v -> Kvstore.Rocksdb_sim.put db k v);
+    kv_scan = (fun ~start ~n -> Kvstore.Rocksdb_sim.scan db ~start ~n);
+    kv_rmw =
+      (fun k f ->
+        let v = match Kvstore.Rocksdb_sim.get db k with Some v -> v | None -> "" in
+        Kvstore.Rocksdb_sim.put db k (f v));
+  }
+
+let kv_of_kreon db =
+  {
+    Ycsb.Runner.kv_read = (fun k -> Kvstore.Kreon_sim.get db k);
+    kv_update = (fun k v -> Kvstore.Kreon_sim.put db k v);
+    kv_insert = (fun k v -> Kvstore.Kreon_sim.put db k v);
+    kv_scan = (fun ~start ~n -> Kvstore.Kreon_sim.scan db ~start ~n);
+    kv_rmw =
+      (fun k f ->
+        let v = match Kvstore.Kreon_sim.get db k with Some v -> v | None -> "" in
+        Kvstore.Kreon_sim.put db k (f v));
+  }
+
+let scale_note =
+  "sizes scaled ~2^10 vs the paper (GB->MB); ratios, batch amortization and \
+   cost constants preserved (DESIGN.md #2)"

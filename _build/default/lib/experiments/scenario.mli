@@ -1,0 +1,63 @@
+(** Shared experiment plumbing: builds the standard system stacks the
+    paper compares, on either device, with scaled sizes (DESIGN.md §2).
+
+    Every constructor returns a fresh, independent stack (own machine,
+    device, blobstore, caches) so experiment runs never share state. *)
+
+type dev = Pmem | Nvme
+
+val dev_name : dev -> string
+
+type aquila_stack = {
+  a_ctx : Aquila.Context.t;
+  a_store : Blobstore.Store.t;
+  a_access : Sdevice.Access.t;
+  a_machine : Hw.Machine.t;
+}
+
+val make_aquila :
+  ?domain:Hw.Domain_x.t ->
+  ?tweak:(Mcache.Dram_cache.config -> Mcache.Dram_cache.config) ->
+  frames:int ->
+  dev:dev ->
+  unit ->
+  aquila_stack
+(** Aquila over DAX pmem or SPDK NVMe.  [domain = Ring3] gives the
+    [kmmap] variant (kernel mmio path: ring-3 traps, host device access).
+    [tweak] adjusts the cache config (ablations). *)
+
+val make_aquila_access :
+  ?domain:Hw.Domain_x.t ->
+  ?frames:int ->
+  access:(Hw.Costs.t -> Blobstore.Store.t option -> Sdevice.Access.t) ->
+  unit ->
+  aquila_stack
+(** Aquila with an arbitrary access method (Figure 8(c)); the callback
+    receives the costs and may ignore the store. *)
+
+type linux_stack = {
+  l_msys : Linux_sim.Mmap_sys.t;
+  l_store : Blobstore.Store.t;
+  l_access : Sdevice.Access.t;
+  l_machine : Hw.Machine.t;
+}
+
+val make_linux :
+  ?readahead:int -> frames:int -> dev:dev -> unit -> linux_stack
+(** Linux mmap over the kernel page cache ([readahead] defaults to the
+    kernel's 32-page fault readaround; 1 models [madvise(MADV_RANDOM)]). *)
+
+type ucache_stack = {
+  u_cache : Uspace.User_cache.t;
+  u_store : Blobstore.Store.t;
+  u_access : Sdevice.Access.t;
+}
+
+val make_ucache : cache_pages:int -> dev:dev -> unit -> ucache_stack
+(** Direct I/O + user-space cache (RocksDB's recommended mode). *)
+
+val kv_of_rocksdb : Kvstore.Rocksdb_sim.t -> Ycsb.Runner.kv
+val kv_of_kreon : Kvstore.Kreon_sim.t -> Ycsb.Runner.kv
+
+val scale_note : string
+(** One-line reminder of the 2^10 size scaling, printed by benches. *)

@@ -1,0 +1,29 @@
+(* Table 1: the standard YCSB workloads. *)
+
+let run () =
+  Stats.Table_fmt.print_table ~title:"Table 1: Standard YCSB Workloads"
+    ~header:[ "workload"; "mix"; "distribution" ]
+    (List.map
+       (fun (w : Ycsb.Workload.t) ->
+         let mix =
+           String.concat ", "
+             (List.filter_map
+                (fun (p, name) ->
+                  if p > 0. then Some (Printf.sprintf "%.0f%% %s" (100. *. p) name)
+                  else None)
+                [
+                  (w.Ycsb.Workload.read, "reads");
+                  (w.Ycsb.Workload.update, "updates");
+                  (w.Ycsb.Workload.insert, "inserts");
+                  (w.Ycsb.Workload.scan, "scans");
+                  (w.Ycsb.Workload.rmw, "read-modify-write");
+                ])
+         in
+         let dist =
+           match w.Ycsb.Workload.dist with
+           | Ycsb.Workload.Uniform -> "uniform"
+           | Ycsb.Workload.Zipf -> "zipfian"
+           | Ycsb.Workload.Latest -> "latest"
+         in
+         [ w.Ycsb.Workload.name; mix; dist ])
+       Ycsb.Workload.all)

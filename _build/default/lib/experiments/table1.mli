@@ -1,0 +1,3 @@
+(** Table 1: the standard YCSB workload definitions. *)
+
+val run : unit -> unit

@@ -1,0 +1,1 @@
+lib/hw/domain_x.ml: Costs Format Int64

@@ -1,0 +1,1 @@
+lib/hw/domain_x.mli: Costs Format

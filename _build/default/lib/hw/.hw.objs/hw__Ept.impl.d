@@ -1,0 +1,1 @@
+lib/hw/ept.ml: Costs Hashtbl Int64

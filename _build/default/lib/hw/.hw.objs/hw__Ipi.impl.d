@@ -1,0 +1,1 @@
+lib/hw/ipi.ml: Costs Int64 List Machine Tlb

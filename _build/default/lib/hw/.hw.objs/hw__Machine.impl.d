@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Int64 Tlb Topology

@@ -1,0 +1,13 @@
+type t = Ring3 | Nonroot_ring0
+
+let fault_transition_cost (c : Costs.t) = function
+  | Ring3 -> c.trap_ring3
+  | Nonroot_ring0 -> Int64.add c.exception_ring0 c.exception_stack_switch
+
+let syscall_cost (c : Costs.t) = function
+  | Ring3 -> c.syscall
+  | Nonroot_ring0 -> c.vmcall_roundtrip
+
+let pp fmt = function
+  | Ring3 -> Format.pp_print_string fmt "ring3"
+  | Nonroot_ring0 -> Format.pp_print_string fmt "non-root ring0"

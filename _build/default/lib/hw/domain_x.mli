@@ -1,0 +1,23 @@
+(** Protection domains and transition costs.
+
+    Captures the paper's central mechanism: where the application runs
+    determines what a page fault and a system call cost.  A Linux process
+    faults from ring 3 into kernel ring 0 (1287-cycle trap); an Aquila
+    application already runs in VMX non-root ring 0, so a fault is a
+    same-ring exception (552 cycles) and privileged work needs no domain
+    switch — but calls that must reach the host OS pay a vmcall. *)
+
+type t =
+  | Ring3  (** ordinary Linux process *)
+  | Nonroot_ring0  (** Aquila application (guest ring 0 under VT-x) *)
+
+val fault_transition_cost : Costs.t -> t -> int64
+(** Cost of taking a page-fault exception and returning, excluding the
+    handler body.  Aquila additionally pays its alternate-exception-stack
+    switch (Section 4.2). *)
+
+val syscall_cost : Costs.t -> t -> int64
+(** Cost of reaching the host kernel and back: a syscall pair from ring 3,
+    a vmcall round trip from non-root ring 0 (Section 4.4). *)
+
+val pp : Format.formatter -> t -> unit

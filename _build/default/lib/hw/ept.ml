@@ -1,0 +1,40 @@
+type t = {
+  gran : int64;
+  frames : (int, unit) Hashtbl.t;
+  mutable nfaults : int;
+}
+
+let one_gib = 1073741824L
+
+let create ?(granularity_bytes = one_gib) () =
+  if Int64.compare granularity_bytes 4096L < 0 then
+    invalid_arg "Ept.create: granularity below a base page";
+  { gran = granularity_bytes; frames = Hashtbl.create 64; nfaults = 0 }
+
+let granularity t = t.gran
+let frame_of t gpa = Int64.to_int (Int64.div gpa t.gran)
+
+let touch t (c : Costs.t) ~gpa =
+  let f = frame_of t gpa in
+  if Hashtbl.mem t.frames f then 0L
+  else begin
+    t.nfaults <- t.nfaults + 1;
+    Hashtbl.replace t.frames f ();
+    (* vmexit out, host handles the violation, vmentry back *)
+    Int64.add (Int64.mul 2L c.vmexit) c.ept_fault
+  end
+
+let unmap_range t ~gpa ~len =
+  let first = frame_of t gpa in
+  let last = frame_of t (Int64.add gpa (Int64.sub len 1L)) in
+  let dropped = ref 0 in
+  for f = first to last do
+    if Hashtbl.mem t.frames f then begin
+      Hashtbl.remove t.frames f;
+      incr dropped
+    end
+  done;
+  !dropped
+
+let faults t = t.nfaults
+let mapped_frames t = Hashtbl.length t.frames

@@ -1,0 +1,35 @@
+type send_mode = Posted | Vmexit_send | Kernel_ipi
+
+let sent = ref 0
+
+let send_cost (c : Costs.t) = function
+  | Posted -> c.ipi_send_posted
+  | Vmexit_send -> c.ipi_send_vmexit
+  | Kernel_ipi -> c.ipi_send_posted (* x2APIC write; receive side dominates *)
+
+let shootdown m (c : Costs.t) ~mode ~src ~targets ~vpns =
+  let targets = List.filter (fun t -> t <> src) targets in
+  match targets with
+  | [] -> 0L
+  | _ :: _ ->
+      incr sent;
+      let npages = List.length vpns in
+      (* Receiver work: interrupt entry plus one invlpg per page (a full
+         flush if the batch is large, as Linux and Aquila both do). *)
+      let invalidate_cost =
+        if npages > 33 then c.tlb_full_flush
+        else Int64.mul (Int64.of_int npages) c.tlb_invlpg
+      in
+      let per_receiver = Int64.add c.ipi_receive invalidate_cost in
+      List.iter
+        (fun core_id ->
+          let core = Machine.core m core_id in
+          List.iter (fun vpn -> Tlb.invalidate_page core.Machine.tlb ~vpn) vpns;
+          Machine.deliver_irq m ~core:core_id per_receiver)
+        targets;
+      (* Sender: one send per batch (posted IPIs broadcast), then wait for
+         the slowest ack; receivers proceed in parallel. *)
+      Int64.add (send_cost c mode) per_receiver
+
+let shootdowns_sent () = !sent
+let reset_counters () = sent := 0

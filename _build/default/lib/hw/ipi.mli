@@ -1,0 +1,37 @@
+(** Inter-processor interrupts and TLB shootdowns.
+
+    A shootdown invalidates a set of pages in the TLBs of every core that
+    may cache them.  The sender pays the send cost (once per batch in
+    Aquila's batched scheme, Section 4.1) plus the wait for the slowest
+    receiver's acknowledgement; each receiving core is charged the
+    receive-plus-invalidate work through {!Machine.deliver_irq}. *)
+
+type send_mode =
+  | Posted  (** posted interrupts, no vmexit on the send path: 298 cycles *)
+  | Vmexit_send
+      (** send forced through a vmexit for DoS rate-limiting (Aquila's
+          default, Section 4.1): 2081 cycles *)
+  | Kernel_ipi  (** ordinary kernel IPI as used by Linux shootdowns *)
+
+val send_cost : Costs.t -> send_mode -> int64
+(** [send_cost c m] is the sender-side cost of initiating one IPI batch. *)
+
+val shootdown :
+  Machine.t ->
+  Costs.t ->
+  mode:send_mode ->
+  src:int ->
+  targets:int list ->
+  vpns:int list ->
+  int64
+(** [shootdown m c ~mode ~src ~targets ~vpns] invalidates [vpns] in the
+    TLBs of [targets] (excluding [src], whose local invalidation the caller
+    performs).  Mutates the target TLBs, queues receive work on each target
+    core, and returns the cycles to charge the {e sender} (send plus
+    ack-wait).  Returns the local invalidation cost only when [targets] is
+    empty. *)
+
+val shootdowns_sent : unit -> int
+(** Global count of shootdown batches (for experiment reporting). *)
+
+val reset_counters : unit -> unit

@@ -1,0 +1,33 @@
+type core = {
+  id : int;
+  tlb : Tlb.t;
+  mutable pending_irq : int64;
+  mutable irqs_received : int;
+}
+
+type t = { topo : Topology.t; core_arr : core array }
+
+let create ?(topology = Topology.default) ?tlb_capacity () =
+  let mk i =
+    { id = i; tlb = Tlb.create ?capacity:tlb_capacity (); pending_irq = 0L; irqs_received = 0 }
+  in
+  { topo = topology; core_arr = Array.init topology.Topology.cores mk }
+
+let topology t = t.topo
+
+let core t i =
+  if i < 0 || i >= Array.length t.core_arr then invalid_arg "Machine.core: bad id";
+  t.core_arr.(i)
+
+let cores t = t.core_arr
+
+let deliver_irq t ~core:i c =
+  let co = core t i in
+  co.pending_irq <- Int64.add co.pending_irq c;
+  co.irqs_received <- co.irqs_received + 1
+
+let drain_irq t ~core:i =
+  let co = core t i in
+  let p = co.pending_irq in
+  co.pending_irq <- 0L;
+  p

@@ -1,0 +1,36 @@
+type pte = {
+  mutable pfn : int;
+  mutable writable : bool;
+  mutable dirty : bool;
+  mutable accessed : bool;
+}
+
+type t = { entries : (int, pte) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 4096 }
+
+let map t ~vpn ~pfn ~writable =
+  match Hashtbl.find_opt t.entries vpn with
+  | Some pte ->
+      pte.pfn <- pfn;
+      pte.writable <- writable;
+      pte.dirty <- false;
+      pte.accessed <- true
+  | None ->
+      Hashtbl.replace t.entries vpn
+        { pfn; writable; dirty = false; accessed = true }
+
+let unmap t ~vpn =
+  match Hashtbl.find_opt t.entries vpn with
+  | Some pte ->
+      Hashtbl.remove t.entries vpn;
+      Some pte
+  | None -> None
+
+let find t ~vpn = Hashtbl.find_opt t.entries vpn
+let mapped t = Hashtbl.length t.entries
+
+let set_writable t ~vpn w =
+  match Hashtbl.find_opt t.entries vpn with
+  | Some pte -> pte.writable <- w
+  | None -> raise Not_found

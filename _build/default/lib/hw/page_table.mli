@@ -1,0 +1,31 @@
+(** Guest page table: virtual page number → physical frame mappings.
+
+    One instance is shared by all threads of a simulated process, as in
+    Linux and in Aquila (Section 3.4: a single page table, not RadixVM's
+    per-core tables).  Costs are charged by callers via {!Costs.t}. *)
+
+type pte = {
+  mutable pfn : int;  (** physical frame number backing the page *)
+  mutable writable : bool;  (** write permission (read faults map RO) *)
+  mutable dirty : bool;  (** hardware dirty bit *)
+  mutable accessed : bool;  (** hardware accessed bit *)
+}
+
+type t
+
+val create : unit -> t
+
+val map : t -> vpn:int -> pfn:int -> writable:bool -> unit
+(** [map t ~vpn ~pfn ~writable] installs or replaces the translation. *)
+
+val unmap : t -> vpn:int -> pte option
+(** [unmap t ~vpn] removes and returns the translation, if present. *)
+
+val find : t -> vpn:int -> pte option
+
+val mapped : t -> int
+(** Number of live translations. *)
+
+val set_writable : t -> vpn:int -> bool -> unit
+(** [set_writable t ~vpn w] toggles write permission (write-protect /
+    dirty-tracking upgrade).  Raises [Not_found] if unmapped. *)

@@ -1,0 +1,45 @@
+type t = {
+  slots : int array; (* -1 = empty; direct-mapped on vpn *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invals : int;
+}
+
+let create ?(capacity = 1536) () =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity";
+  { slots = Array.make capacity (-1); capacity; hits = 0; misses = 0; invals = 0 }
+
+let slot_of t vpn = vpn mod t.capacity
+
+let access t (c : Costs.t) ~vpn =
+  let s = slot_of t vpn in
+  if t.slots.(s) = vpn then begin
+    t.hits <- t.hits + 1;
+    0L
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.slots.(s) <- vpn;
+    c.tlb_miss_walk
+  end
+
+let invalidate_page t ~vpn =
+  let s = slot_of t vpn in
+  if t.slots.(s) = vpn then begin
+    t.slots.(s) <- -1;
+    t.invals <- t.invals + 1
+  end
+
+let invalidate_local t (c : Costs.t) ~vpn =
+  invalidate_page t ~vpn;
+  c.tlb_invlpg
+
+let flush t (c : Costs.t) =
+  Array.fill t.slots 0 t.capacity (-1);
+  t.invals <- t.invals + 1;
+  c.tlb_full_flush
+
+let hits t = t.hits
+let misses t = t.misses
+let invalidations t = t.invals

@@ -1,0 +1,13 @@
+type t = { cores : int; nodes : int }
+
+let create ~cores ~nodes =
+  if cores <= 0 || nodes <= 0 || cores mod nodes <> 0 then
+    invalid_arg "Topology.create: cores must be a positive multiple of nodes";
+  { cores; nodes }
+
+let default = create ~cores:32 ~nodes:2
+let cores_per_node t = t.cores / t.nodes
+
+let node_of t core =
+  if core < 0 || core >= t.cores then invalid_arg "Topology.node_of: bad core";
+  core / cores_per_node t

@@ -1,0 +1,20 @@
+(** CPU topology of the simulated server.
+
+    Mirrors the paper's testbed: a dual-socket Xeon E5-2630 v3 with 8
+    physical cores / 16 hyperthreads per socket — 32 hardware threads over
+    2 NUMA nodes. *)
+
+type t = { cores : int; nodes : int }
+
+val default : t
+(** 32 cores across 2 NUMA nodes. *)
+
+val create : cores:int -> nodes:int -> t
+(** [create ~cores ~nodes] builds a custom topology; [cores] must be a
+    positive multiple of [nodes]. *)
+
+val cores_per_node : t -> int
+
+val node_of : t -> int -> int
+(** [node_of t core] is the NUMA node hosting [core].  Cores are numbered
+    contiguously per node, as Linux numbers them on this machine. *)

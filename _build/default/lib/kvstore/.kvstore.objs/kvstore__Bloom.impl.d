@@ -1,0 +1,1 @@
+lib/kvstore/bloom.ml: Bytes Char Int32 String

@@ -1,0 +1,1 @@
+lib/kvstore/bloom.mli: Bytes

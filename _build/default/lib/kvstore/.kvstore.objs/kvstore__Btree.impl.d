@@ -1,0 +1,1 @@
+lib/kvstore/btree.ml: Array Bytes Hw Int32 Int64 Kv_costs String

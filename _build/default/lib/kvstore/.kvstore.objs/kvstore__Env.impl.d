@@ -1,0 +1,1 @@
+lib/kvstore/env.ml: Aquila Blobstore Bytes Linux_sim Mcache Sim Uspace

@@ -1,0 +1,1 @@
+lib/kvstore/env.mli: Aquila Blobstore Bytes Hw Linux_sim Sdevice Uspace

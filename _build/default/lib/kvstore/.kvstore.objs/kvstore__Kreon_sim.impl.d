@@ -1,0 +1,1 @@
+lib/kvstore/kreon_sim.ml: Aquila Array Blobstore Btree Bytes Hashtbl Hw Int32 Int64 Kv_costs List Memtable Sim String

@@ -1,0 +1,1 @@
+lib/kvstore/kreon_sim.mli: Aquila Blobstore Sdevice

@@ -1,0 +1,1 @@
+lib/kvstore/kv_costs.ml: Sim

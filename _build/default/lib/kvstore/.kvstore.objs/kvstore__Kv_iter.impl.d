@@ -1,0 +1,1 @@
+lib/kvstore/kv_iter.ml: Array List Memtable Sst

@@ -1,0 +1,1 @@
+lib/kvstore/memtable.ml: List Map Seq String

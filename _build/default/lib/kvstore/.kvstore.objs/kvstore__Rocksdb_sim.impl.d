@@ -1,0 +1,1 @@
+lib/kvstore/rocksdb_sim.ml: Array Bytes Env Hashtbl Hw Int32 Int64 Kv_costs Kv_iter List Memtable Printf Sim Sst String

@@ -1,0 +1,1 @@
+lib/kvstore/rocksdb_sim.mli: Env Kv_iter

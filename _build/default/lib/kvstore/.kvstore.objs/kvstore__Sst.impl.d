@@ -1,0 +1,1 @@
+lib/kvstore/sst.ml: Array Bloom Buffer Bytes Env Hw Int32 Kv_costs List String

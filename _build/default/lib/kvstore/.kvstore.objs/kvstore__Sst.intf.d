@@ -1,0 +1,1 @@
+lib/kvstore/sst.mli: Env

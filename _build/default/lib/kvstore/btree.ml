@@ -1,0 +1,204 @@
+let psz = Hw.Defs.page_size
+
+type rw = {
+  read : off:int -> len:int -> dst:Bytes.t -> unit;
+  write : off:int -> src:Bytes.t -> unit;
+}
+
+type info = {
+  root_page : int;
+  height : int;
+  count : int;
+  leaf0 : int;
+  nleaves : int;
+  pages_used : int;
+}
+
+let max_key_bytes = 38
+let entry_bytes = 48 (* u16 klen | key padded to 38 | u64 payload *)
+let header_bytes = 8 (* u8 kind | u16 count | padding *)
+let fanout = (psz - header_bytes) / entry_bytes (* 85 *)
+
+let pages_needed n =
+  let rec go nodes acc =
+    if nodes <= 1 then acc
+    else
+      let next = (nodes + fanout - 1) / fanout in
+      go next (acc + next)
+  in
+  let leaves = max 1 ((n + fanout - 1) / fanout) in
+  go leaves leaves + 1
+
+(* ---- node serialization ---- *)
+
+let pack_entry b off key payload =
+  if String.length key > max_key_bytes then invalid_arg "Btree: key too long";
+  Bytes.set_uint16_le b off (String.length key);
+  Bytes.blit_string key 0 b (off + 2) (String.length key);
+  Bytes.set_int64_le b (off + 2 + max_key_bytes) (Int64.of_int payload)
+
+let node_page kind entries =
+  let b = Bytes.make psz '\000' in
+  Bytes.set_uint8 b 0 kind;
+  Bytes.set_uint16_le b 1 (Array.length entries);
+  Array.iteri
+    (fun i (k, p) -> pack_entry b (header_bytes + (i * entry_bytes)) k p)
+    entries;
+  b
+
+(* Read one node header: (kind, count). *)
+let read_header rw ~page =
+  let b = Bytes.create 4 in
+  rw.read ~off:(page * psz) ~len:4 ~dst:b;
+  (Bytes.get_uint8 b 0, Bytes.get_uint16_le b 1)
+
+(* Read entry [idx] of node [page]: (key, payload). *)
+let read_entry rw ~page ~idx =
+  let b = Bytes.create entry_bytes in
+  rw.read ~off:((page * psz) + header_bytes + (idx * entry_bytes)) ~len:entry_bytes ~dst:b;
+  let klen = Bytes.get_uint16_le b 0 in
+  (Bytes.sub_string b 2 klen, Int64.to_int (Bytes.get_int64_le b (2 + max_key_bytes)))
+
+(* ---- bulk build ---- *)
+
+let build rw ~base_page entries =
+  let n = Array.length entries in
+  if n = 0 then invalid_arg "Btree.build: empty";
+  Array.iteri
+    (fun i (k, _) ->
+      if String.length k > max_key_bytes then invalid_arg "Btree: key too long";
+      if i > 0 && fst entries.(i - 1) >= k then
+        invalid_arg "Btree.build: entries must be strictly ascending")
+    entries;
+  let next_page = ref base_page in
+  (* Write one level of nodes from [items]; returns (first_key, page) per
+     node for the level above. *)
+  let write_level kind items =
+    let nitems = Array.length items in
+    let nnodes = (nitems + fanout - 1) / fanout in
+    Array.init nnodes (fun node ->
+        let lo = node * fanout in
+        let hi = min nitems (lo + fanout) - 1 in
+        let slice = Array.sub items lo (hi - lo + 1) in
+        let page = !next_page in
+        incr next_page;
+        rw.write ~off:(page * psz) ~src:(node_page kind slice);
+        (fst slice.(0), page))
+  in
+  let leaf0 = !next_page in
+  let leaf_keys = write_level 1 entries in
+  let nleaves = Array.length leaf_keys in
+  let rec up level keys =
+    if Array.length keys = 1 then (snd keys.(0), level)
+    else
+      let next = write_level 0 keys in
+      up (level + 1) next
+  in
+  let root_page, height = up 1 leaf_keys in
+  {
+    root_page;
+    height;
+    count = n;
+    leaf0;
+    nleaves;
+    pages_used = !next_page - base_page;
+  }
+
+(* ---- lookup ---- *)
+
+(* Largest entry index with key <= target, or None if all keys > target. *)
+let node_floor rw ~page ~count target =
+  if count = 0 then None
+  else begin
+    let k0, _ = read_entry rw ~page ~idx:0 in
+    if k0 > target then None
+    else begin
+      let lo = ref 0 and hi = ref (count - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        Kv_costs.(charge "kv_get_index" btree_node_search);
+        let k, _ = read_entry rw ~page ~idx:mid in
+        if k <= target then lo := mid else hi := mid - 1
+      done;
+      Some !lo
+    end
+  end
+
+let rec descend rw ~page ~level target =
+  let kind, count = read_header rw ~page in
+  if kind = 1 then (page, count)
+  else
+    match node_floor rw ~page ~count target with
+    | None ->
+        (* target below the subtree: take the leftmost child *)
+        let _, child = read_entry rw ~page ~idx:0 in
+        descend rw ~page:child ~level:(level - 1) target
+    | Some idx ->
+        let _, child = read_entry rw ~page ~idx in
+        descend rw ~page:child ~level:(level - 1) target
+
+let find rw info key =
+  let leaf, count = descend rw ~page:info.root_page ~level:info.height key in
+  match node_floor rw ~page:leaf ~count key with
+  | None -> None
+  | Some idx ->
+      let k, payload = read_entry rw ~page:leaf ~idx in
+      if k = key then Some payload else None
+
+let iter_from rw info ~start ~f =
+  let leaf, count = descend rw ~page:info.root_page ~level:info.height start in
+  let start_idx =
+    match node_floor rw ~page:leaf ~count start with
+    | None -> 0
+    | Some idx ->
+        let k, _ = read_entry rw ~page:leaf ~idx in
+        if k >= start then idx else idx + 1
+  in
+  (* leaves occupy [leaf0, leaf0 + nleaves): walk forward page by page *)
+  let stop = ref false in
+  let page = ref leaf and idx = ref start_idx in
+  let cnt = ref count in
+  while not !stop do
+    if !idx >= !cnt then begin
+      incr page;
+      idx := 0;
+      if !page >= info.leaf0 + info.nleaves then stop := true
+      else begin
+        let _, c = read_header rw ~page:!page in
+        cnt := c;
+        if c = 0 then stop := true
+      end
+    end
+    else begin
+      let k, payload = read_entry rw ~page:!page ~idx:!idx in
+      if k >= start then begin
+        if not (f k payload) then stop := true
+      end;
+      incr idx
+    end
+  done
+
+(* ---- info (de)serialization for superblocks ---- *)
+
+let info_bytes = 24
+
+let serialize_info i =
+  let b = Bytes.create info_bytes in
+  Bytes.set_int32_le b 0 (Int32.of_int i.root_page);
+  Bytes.set_int32_le b 4 (Int32.of_int i.height);
+  Bytes.set_int32_le b 8 (Int32.of_int i.count);
+  Bytes.set_int32_le b 12 (Int32.of_int i.leaf0);
+  Bytes.set_int32_le b 16 (Int32.of_int i.nleaves);
+  Bytes.set_int32_le b 20 (Int32.of_int i.pages_used);
+  b
+
+let deserialize_info b ~pos =
+  let g o = Int32.to_int (Bytes.get_int32_le b (pos + o)) in
+  {
+    root_page = g 0;
+    height = g 4;
+    count = g 8;
+    leaf0 = g 12;
+    nleaves = g 16;
+    pages_used = g 20;
+  }

@@ -1,0 +1,57 @@
+(** On-device bulk-built B+-tree over an mmio region.
+
+    Kreon keeps a per-level index from keys to value-log offsets inside
+    its single memory-mapped file; levels are immutable between spills, so
+    the tree is {e bulk-built} bottom-up from sorted entries — leaves fill
+    a contiguous page run, then internal levels are built over their first
+    keys up to a single root.  Lookups walk root→leaf, touching each node
+    page through the mapping (cache hits are free, misses fault), with
+    binary search inside nodes.
+
+    Fixed-size slots (48 B: key up to 38 B + 8 B payload) give a fanout of
+    85 per 4 KiB node.  All I/O goes through a caller-supplied {!rw}
+    accessor, so the tree works over any mmio surface. *)
+
+type rw = {
+  read : off:int -> len:int -> dst:Bytes.t -> unit;  (** region byte read *)
+  write : off:int -> src:Bytes.t -> unit;
+}
+
+type info = {
+  root_page : int;  (** region page of the root node *)
+  height : int;  (** 1 = root is a leaf *)
+  count : int;  (** total entries *)
+  leaf0 : int;  (** first leaf page (leaves are contiguous) *)
+  nleaves : int;
+  pages_used : int;
+}
+
+val max_key_bytes : int
+(** Longest supported key (38 bytes). *)
+
+val fanout : int
+(** Entries per node (85). *)
+
+val pages_needed : int -> int
+(** [pages_needed n] is an upper bound on pages a tree of [n] entries
+    uses (leaves plus all internal levels). *)
+
+val build : rw -> base_page:int -> (string * int) array -> info
+(** [build rw ~base_page entries] writes a tree for ascending-key,
+    duplicate-free [entries] into the page run starting at [base_page].
+    Must run inside a fiber (region writes fault).  Raises
+    [Invalid_argument] on empty input, unsorted input, or oversized
+    keys. *)
+
+val find : rw -> info -> string -> int option
+(** [find rw info key] walks the tree; must run inside a fiber. *)
+
+val iter_from : rw -> info -> start:string -> f:(string -> int -> bool) -> unit
+(** [iter_from rw info ~start ~f] visits entries with key ≥ [start] in
+    ascending order until [f] returns [false] — leaves are contiguous, so
+    iteration advances page by page. *)
+
+val serialize_info : info -> Bytes.t
+val deserialize_info : Bytes.t -> pos:int -> info
+val info_bytes : int
+(** Size of a serialized {!info} (for superblocks). *)

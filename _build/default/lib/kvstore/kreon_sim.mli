@@ -1,0 +1,67 @@
+(** Kreon-style persistent key-value store (SoCC '18 / TOS '21 model).
+
+    Kreon is designed around mmio in the common path: all keys and values
+    live in a {e value log}, and each level keeps a bulk-built on-device
+    {!Btree} from keys to log offsets, all inside one memory-mapped file.
+    Point lookups walk the B+-tree (touching node pages through the
+    mapping — hot internal nodes stay cached and free) and then read the
+    value from the log — more random device accesses than RocksDB but far
+    less I/O amplification and CPU per operation.
+
+    Durability follows Kreon's commit protocol: {!msync} writes a
+    superblock (level roots, committed log tail) and flushes dirty pages;
+    after a crash, {!recover} rebuilds the levels from the superblock and
+    replays the committed log suffix into L0.
+
+    The store runs over an {!Aquila.Context} region; configuring the
+    context with [domain = Ring3] turns the mmio path into the paper's
+    [kmmap] baseline, while the default non-root ring 0 context is Kreon
+    over Aquila (Figure 9). *)
+
+type config = {
+  l0_limit_entries : int;  (** in-memory L0 spill threshold *)
+  level_ratio : int;  (** capacity growth per level *)
+  nlevels : int;  (** on-device levels *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ctx:Aquila.Context.t ->
+  access:Sdevice.Access.t ->
+  store:Blobstore.Store.t ->
+  expected_records:int ->
+  value_bytes:int ->
+  ?config:config ->
+  unit ->
+  t
+(** [create ~ctx ~access ~store ~expected_records ~value_bytes ()] sizes
+    the single mapped file (log + level areas) for the expected load and
+    maps it through [ctx]. *)
+
+val put : t -> string -> string -> unit
+(** Append to the value log, insert into L0; spills levels when full.
+    Must run inside a fiber. *)
+
+val get : t -> string -> string option
+val scan : t -> start:string -> n:int -> (string * string) list
+
+val spill : t -> unit
+(** Force L0 into L1. *)
+
+val msync : t -> unit
+(** Kreon's commit: write the superblock (level roots and committed log
+    tail), then persist the mapped file's dirty pages. *)
+
+val recover : t -> unit
+(** Rebuild the in-memory state from the device (after
+    {!Mcache.Dram_cache.crash} or a fresh reopen): levels from the
+    superblock, L0 by replaying the committed log suffix.  Updates
+    appended after the last {!msync} are lost, as they should be. *)
+
+val level_entries : t -> int list
+(** Entry counts per on-device level. *)
+
+val log_bytes : t -> int

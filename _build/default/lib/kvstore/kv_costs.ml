@@ -1,0 +1,13 @@
+let memtable_probe = 1800L
+let memtable_insert = 1600L
+let manifest_select = 500L
+let bloom_probe = 700L
+let index_search = 1600L
+let block_scan = 3800L
+let get_base = 2600L
+let put_base = 1200L
+let scan_next = 600L
+let btree_node_search = 520L
+let log_append = 900L
+
+let charge label c = Sim.Engine.delay ~cat:Sim.Engine.User ~label c

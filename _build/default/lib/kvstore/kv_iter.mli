@@ -1,0 +1,38 @@
+(** Streaming merge iterators over key-value sources.
+
+    RocksDB serves range scans through a k-way merging iterator over the
+    memtable and every live SST; this module provides the same machinery:
+    pull-based cursors that read SST data blocks lazily (through the
+    environment, so iteration costs follow the configured I/O path) and a
+    merge combinator where earlier sources shadow later ones on duplicate
+    keys — memtable over L0 over deeper levels. *)
+
+type t
+
+val next : t -> (string * string) option
+(** [next it] yields the smallest remaining key (with its newest value)
+    and advances; [None] when exhausted.  Must run inside a fiber when
+    the iterator reads storage. *)
+
+val peek : t -> (string * string) option
+(** [peek it] is the next binding without consuming it. *)
+
+val of_sorted_list : (string * string) list -> t
+(** Cursor over an already-sorted, duplicate-free list. *)
+
+val of_memtable : Memtable.t -> start:string -> t
+(** Cursor over a memtable snapshot from [start]. *)
+
+val of_sst : Sst.t -> start:string -> t
+(** Lazy cursor over an SST: positions via the block index and reads one
+    data block at a time. *)
+
+val of_fun : (unit -> (string * string) option) -> t
+(** [of_fun pull] wraps a producer that yields ascending keys. *)
+
+val merge : t list -> t
+(** [merge sources] interleaves by key; on ties the earliest source in
+    the list wins (newest-first ordering is the caller's job). *)
+
+val take : t -> int -> (string * string) list
+(** [take it n] pulls up to [n] bindings. *)

@@ -1,0 +1,35 @@
+module Smap = Map.Make (String)
+
+type t = { mutable map : string Smap.t; mutable bytes : int }
+
+let create () = { map = Smap.empty; bytes = 0 }
+
+let put t k v =
+  (match Smap.find_opt k t.map with
+  | Some old -> t.bytes <- t.bytes - String.length k - String.length old
+  | None -> ());
+  t.map <- Smap.add k v t.map;
+  t.bytes <- t.bytes + String.length k + String.length v
+
+let get t k = Smap.find_opt k t.map
+let mem_bytes t = t.bytes
+let entries t = Smap.cardinal t.map
+let is_empty t = Smap.is_empty t.map
+let to_sorted_list t = Smap.bindings t.map
+
+let range t ~start ~n =
+  let _, eq, above = Smap.split start t.map in
+  let first = match eq with Some v -> [ (start, v) ] | None -> [] in
+  let rec take seq n acc =
+    if n = 0 then List.rev acc
+    else
+      match seq () with
+      | Seq.Nil -> List.rev acc
+      | Seq.Cons ((k, v), rest) -> take rest (n - 1) ((k, v) :: acc)
+  in
+  let rest = take (Smap.to_seq above) (n - List.length first) [] in
+  first @ rest
+
+let clear t =
+  t.map <- Smap.empty;
+  t.bytes <- 0

@@ -1,0 +1,21 @@
+(** In-memory write buffer (sorted map with byte accounting).
+
+    Stands in for RocksDB's skiplist memtable and Kreon's L0: insertion
+    and lookup compute costs are charged by the stores that use it. *)
+
+type t
+
+val create : unit -> t
+val put : t -> string -> string -> unit
+val get : t -> string -> string option
+val mem_bytes : t -> int
+val entries : t -> int
+val is_empty : t -> bool
+
+val to_sorted_list : t -> (string * string) list
+(** Ascending by key. *)
+
+val range : t -> start:string -> n:int -> (string * string) list
+(** Up to [n] entries with key ≥ [start], ascending. *)
+
+val clear : t -> unit

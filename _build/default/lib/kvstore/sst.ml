@@ -1,0 +1,225 @@
+let psz = Hw.Defs.page_size
+
+type t = {
+  file : Env.file;
+  sname : string;
+  fkey : string;
+  lkey : string;
+  nrecs : int;
+  ndata : int; (* data pages *)
+  index_page0 : int;
+  nindex : int;
+  bloom_page0 : int;
+  nbloom : int;
+}
+
+let record_bytes k v = 6 + String.length k + String.length v
+
+(* ---- building ---- *)
+
+let pack_blocks records =
+  (* Greedily fill 4 KiB blocks; a record never spans blocks. *)
+  let blocks = ref [] in
+  let cur = Buffer.create psz in
+  let cur_first = ref None in
+  let flush () =
+    match !cur_first with
+    | None -> ()
+    | Some fk ->
+        let b = Bytes.make psz '\000' in
+        Bytes.blit (Buffer.to_bytes cur) 0 b 0 (Buffer.length cur);
+        blocks := (fk, b) :: !blocks;
+        Buffer.clear cur;
+        cur_first := None
+  in
+  List.iter
+    (fun (k, v) ->
+      let need = record_bytes k v in
+      if need > psz then invalid_arg "Sst: record larger than a block";
+      if Buffer.length cur + need > psz then flush ();
+      if !cur_first = None then cur_first := Some k;
+      let hdr = Bytes.create 6 in
+      Bytes.set_uint16_le hdr 0 (String.length k);
+      Bytes.set_int32_le hdr 2 (Int32.of_int (String.length v));
+      Buffer.add_bytes cur hdr;
+      Buffer.add_string cur k;
+      Buffer.add_string cur v)
+    records;
+  flush ();
+  List.rev !blocks
+
+let pack_index firsts =
+  let buf = Buffer.create psz in
+  List.iteri
+    (fun block_no fk ->
+      let hdr = Bytes.create 6 in
+      Bytes.set_uint16_le hdr 0 (String.length fk);
+      Bytes.set_int32_le hdr 2 (Int32.of_int block_no);
+      Buffer.add_bytes buf hdr;
+      Buffer.add_string buf fk)
+    firsts;
+  let len = Buffer.length buf in
+  let pages = max 1 ((len + psz - 1) / psz) in
+  let out = Bytes.make (pages * psz) '\000' in
+  Bytes.blit (Buffer.to_bytes buf) 0 out 0 len;
+  (out, pages)
+
+let build env ~name records =
+  (match records with [] -> invalid_arg "Sst.build: empty" | _ -> ());
+  let blocks = pack_blocks records in
+  let firsts = List.map fst blocks in
+  let index_bytes, nindex = pack_index firsts in
+  let bloom = Bloom.create ~expected_keys:(List.length records) in
+  List.iter (fun (k, _) -> Bloom.add bloom k) records;
+  let bloom_ser = Bloom.serialize bloom in
+  let nbloom = max 1 ((Bytes.length bloom_ser + psz - 1) / psz) in
+  let bloom_bytes = Bytes.make (nbloom * psz) '\000' in
+  Bytes.blit bloom_ser 0 bloom_bytes 0 (Bytes.length bloom_ser);
+  let ndata = List.length blocks in
+  let total = ndata + nindex + nbloom in
+  let file = Env.create_file env ~name ~size_pages:total in
+  (* write data blocks in one sequential pass *)
+  let data = Bytes.create (ndata * psz) in
+  List.iteri (fun i (_, b) -> Bytes.blit b 0 data (i * psz) psz) blocks;
+  Env.write file ~off:0 ~src:data;
+  Env.write file ~off:(ndata * psz) ~src:index_bytes;
+  Env.write file ~off:((ndata + nindex) * psz) ~src:bloom_bytes;
+  Env.sync file;
+  {
+    file;
+    sname = name;
+    fkey = fst (List.hd records);
+    lkey = fst (List.nth records (List.length records - 1));
+    nrecs = List.length records;
+    ndata;
+    index_page0 = ndata;
+    nindex;
+    bloom_page0 = ndata + nindex;
+    nbloom;
+  }
+
+let first_key t = t.fkey
+let last_key t = t.lkey
+let nrecords t = t.nrecs
+let data_pages t = t.ndata
+let total_pages t = t.ndata + t.nindex + t.nbloom
+
+(* ---- reading ---- *)
+
+let read_bloom t =
+  let b = Bytes.create (t.nbloom * psz) in
+  Env.read t.file ~off:(t.bloom_page0 * psz) ~len:(t.nbloom * psz) ~dst:b;
+  Bloom.deserialize b
+
+let read_index t =
+  let b = Bytes.create (t.nindex * psz) in
+  Env.read t.file ~off:(t.index_page0 * psz) ~len:(t.nindex * psz) ~dst:b;
+  (* parse entries *)
+  let entries = ref [] in
+  let pos = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !pos + 6 <= Bytes.length b do
+    let klen = Bytes.get_uint16_le b !pos in
+    if klen = 0 then continue_ := false
+    else begin
+      let block_no = Int32.to_int (Bytes.get_int32_le b (!pos + 2)) in
+      let k = Bytes.sub_string b (!pos + 6) klen in
+      entries := (k, block_no) :: !entries;
+      pos := !pos + 6 + klen
+    end
+  done;
+  Array.of_list (List.rev !entries)
+
+(* Largest index entry with first_key <= key. *)
+let locate_block index key =
+  let n = Array.length index in
+  if n = 0 || fst index.(0) > key then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if fst index.(mid) <= key then lo := mid else hi := mid - 1
+    done;
+    Some (snd index.(!lo))
+  end
+
+let parse_block b f =
+  let pos = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !pos + 6 <= psz do
+    let klen = Bytes.get_uint16_le b !pos in
+    if klen = 0 then continue_ := false
+    else begin
+      let vlen = Int32.to_int (Bytes.get_int32_le b (!pos + 2)) in
+      let k = Bytes.sub_string b (!pos + 6) klen in
+      let v = Bytes.sub_string b (!pos + 6 + klen) vlen in
+      if not (f k v) then continue_ := false;
+      pos := !pos + 6 + klen + vlen
+    end
+  done
+
+let read_block t block_no =
+  let b = Bytes.create psz in
+  Env.read t.file ~off:(block_no * psz) ~len:psz ~dst:b;
+  b
+
+let get t key =
+  if key < t.fkey || key > t.lkey then None
+  else begin
+    let bloom = read_bloom t in
+    Kv_costs.(charge "kv_get_bloom" bloom_probe);
+    if not (Bloom.mem bloom key) then None
+    else begin
+      let index = read_index t in
+      Kv_costs.(charge "kv_get_index" index_search);
+      match locate_block index key with
+      | None -> None
+      | Some block_no ->
+          let b = read_block t block_no in
+          Kv_costs.(charge "kv_get_block" block_scan);
+          let found = ref None in
+          parse_block b (fun k v ->
+              if k = key then begin
+                found := Some v;
+                false
+              end
+              else k < key);
+          !found
+    end
+  end
+
+let iter_from t ~start ~f =
+  let index = read_index t in
+  Kv_costs.(charge "kv_scan_index" index_search);
+  let start_block = match locate_block index start with None -> 0 | Some b -> b in
+  let stop = ref false in
+  let block = ref start_block in
+  while (not !stop) && !block < t.ndata do
+    let b = read_block t !block in
+    Kv_costs.(charge "kv_scan_block" block_scan);
+    parse_block b (fun k v ->
+        if k < start then true
+        else if f k v then true
+        else begin
+          stop := true;
+          false
+        end);
+    incr block
+  done
+
+let locate_start_block t start =
+  let index = read_index t in
+  Kv_costs.(charge "kv_scan_index" index_search);
+  match locate_block index start with None -> 0 | Some b -> b
+
+let read_block_records t b =
+  if b < 0 || b >= t.ndata then invalid_arg "Sst.read_block_records";
+  let bytes = read_block t b in
+  Kv_costs.(charge "kv_scan_block" block_scan);
+  let acc = ref [] in
+  parse_block bytes (fun k v ->
+      acc := (k, v) :: !acc;
+      true);
+  List.rev !acc
+
+let delete t = Env.delete t.file

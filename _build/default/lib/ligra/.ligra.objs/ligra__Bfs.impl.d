@@ -1,0 +1,1 @@
+lib/ligra/bfs.ml: Array Graph Int64 List Mem_surface Printf Sim

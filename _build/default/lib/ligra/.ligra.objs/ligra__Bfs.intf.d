@@ -1,0 +1,1 @@
+lib/ligra/bfs.mli: Graph Mem_surface Sim

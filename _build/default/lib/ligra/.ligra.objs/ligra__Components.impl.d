@@ -1,0 +1,1 @@
+lib/ligra/components.ml: Array Graph Hashtbl Int64 List Mem_surface Option Printf Sim

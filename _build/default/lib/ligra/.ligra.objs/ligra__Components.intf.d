@@ -1,0 +1,1 @@
+lib/ligra/components.mli: Graph Mem_surface Sim

@@ -1,0 +1,1 @@
+lib/ligra/graph.ml: Array

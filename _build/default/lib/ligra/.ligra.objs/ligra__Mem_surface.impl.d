@@ -1,0 +1,1 @@
+lib/ligra/mem_surface.ml: Aquila Array Hw Linux_sim

@@ -1,0 +1,1 @@
+lib/ligra/mem_surface.mli: Aquila Linux_sim Sim

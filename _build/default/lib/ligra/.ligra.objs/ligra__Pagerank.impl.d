@@ -1,0 +1,1 @@
+lib/ligra/pagerank.ml: Array Graph Int64 List Mem_surface Printf Sim

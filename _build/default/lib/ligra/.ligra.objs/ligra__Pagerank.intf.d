@@ -1,0 +1,1 @@
+lib/ligra/pagerank.mli: Graph Mem_surface Sim

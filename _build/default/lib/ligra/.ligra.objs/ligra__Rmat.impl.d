@@ -1,0 +1,1 @@
+lib/ligra/rmat.ml: Array Graph Sim

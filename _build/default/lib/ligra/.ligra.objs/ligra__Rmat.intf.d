@@ -1,0 +1,1 @@
+lib/ligra/rmat.mli: Graph

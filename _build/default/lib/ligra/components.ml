@@ -1,0 +1,101 @@
+type result = {
+  rounds : int;
+  components : int;
+  largest : int;
+  elapsed_cycles : int64;
+}
+
+type charger = { buf : Sim.Costbuf.t; mutable compute : int64 }
+
+let flush ch =
+  if Int64.compare ch.compute 0L > 0 then begin
+    Sim.Engine.delay ~cat:Sim.Engine.User ~label:"ligra_compute" ch.compute;
+    ch.compute <- 0L
+  end;
+  Sim.Costbuf.charge ch.buf
+
+let maybe_flush ch =
+  if Int64.compare (Int64.add ch.compute (Sim.Costbuf.total ch.buf)) 200_000L > 0
+  then flush ch
+
+let cycles_per_edge = 30L
+let cycles_per_vertex = 60L
+
+let run ~eng ~(graph : Graph.t) ~surface ~threads () =
+  if threads <= 0 then invalid_arg "Components.run: threads";
+  let n = graph.Graph.n in
+  (* symmetrize: label propagation needs both directions *)
+  let sym =
+    let pairs = ref [] in
+    for v = 0 to n - 1 do
+      Graph.iter_neighbors graph v (fun d ->
+          pairs := (v, d) :: (d, v) :: !pairs)
+    done;
+    Graph.of_edge_list ~n !pairs
+  in
+  let start_time = Sim.Engine.now eng in
+  let rounds = ref 0 and comps = ref 0 and largest = ref 0 in
+  ignore
+    (Sim.Engine.spawn eng ~name:"cc-driver" ~core:0 (fun () ->
+         let b0 = Sim.Costbuf.create () in
+         let offs =
+           Mem_surface.alloc surface ~len:(n + 1) ~init:(fun i -> sym.Graph.offsets.(i))
+         in
+         let edgs =
+           Mem_surface.alloc surface ~len:(max 1 sym.Graph.m) ~init:(fun i ->
+               if sym.Graph.m = 0 then 0 else sym.Graph.edges.(i))
+         in
+         let label = Mem_surface.alloc surface ~len:n ~init:(fun v -> v) in
+         Sim.Costbuf.charge b0;
+         let changed = ref true in
+         while !changed do
+           incr rounds;
+           changed := false;
+           let dones = Array.init threads (fun _ -> Sim.Sync.Ivar.create ()) in
+           for w = 0 to threads - 1 do
+             ignore
+               (Sim.Engine.spawn eng ~name:(Printf.sprintf "cc-w%d" w) ~core:(w mod 32)
+                  (fun () ->
+                    let ch = { buf = Sim.Costbuf.create (); compute = 0L } in
+                    let lo = w * n / threads and hi = ((w + 1) * n / threads) - 1 in
+                    for v = lo to hi do
+                      ch.compute <- Int64.add ch.compute cycles_per_vertex;
+                      let best = ref (Mem_surface.get label ~buf:ch.buf v) in
+                      let o0 = Mem_surface.get offs ~buf:ch.buf v in
+                      let o1 = Mem_surface.get offs ~buf:ch.buf (v + 1) in
+                      for e = o0 to o1 - 1 do
+                        ch.compute <- Int64.add ch.compute cycles_per_edge;
+                        let u = Mem_surface.get edgs ~buf:ch.buf e in
+                        let lu = Mem_surface.get label ~buf:ch.buf u in
+                        if lu < !best then best := lu;
+                        maybe_flush ch
+                      done;
+                      if !best < Mem_surface.get label ~buf:ch.buf v then begin
+                        Mem_surface.set label ~buf:ch.buf v !best;
+                        changed := true
+                      end
+                    done;
+                    flush ch;
+                    Sim.Sync.Ivar.fill dones.(w) ()))
+           done;
+           Array.iter Sim.Sync.Ivar.read dones
+         done;
+         (* summarize *)
+         let b = Sim.Costbuf.create () in
+         let counts = Hashtbl.create 64 in
+         for v = 0 to n - 1 do
+           let l = Mem_surface.get label ~buf:b v in
+           Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l))
+         done;
+         Sim.Costbuf.charge b;
+         comps := Hashtbl.length counts;
+         largest := Hashtbl.fold (fun _ c acc -> max c acc) counts 0;
+         Mem_surface.free label;
+         List.iter Mem_surface.free [ offs; edgs ]));
+  Sim.Engine.run eng;
+  {
+    rounds = !rounds;
+    components = !comps;
+    largest = !largest;
+    elapsed_cycles = Int64.sub (Sim.Engine.now eng) start_time;
+  }

@@ -1,0 +1,23 @@
+(** Ligra-style connected components by label propagation.
+
+    Treats the graph as undirected (propagates along both edge
+    directions), iterating until no label changes — the classic Ligra
+    benchmark alongside BFS and PageRank.  All state lives on a
+    {!Mem_surface.t}. *)
+
+type result = {
+  rounds : int;
+  components : int;  (** number of distinct labels at convergence *)
+  largest : int;  (** size of the largest component *)
+  elapsed_cycles : int64;
+}
+
+val run :
+  eng:Sim.Engine.t ->
+  graph:Graph.t ->
+  surface:Mem_surface.t ->
+  threads:int ->
+  unit ->
+  result
+(** [run ~eng ~graph ~surface ~threads ()] runs to convergence.  Spawns
+    fibers and drains the engine. *)

@@ -1,0 +1,34 @@
+type t = { n : int; m : int; offsets : int array; edges : int array }
+
+let of_edge_array ~n arr =
+  let m = Array.length arr in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (s, _) ->
+      if s < 0 || s >= n then invalid_arg "Graph: vertex out of range";
+      deg.(s) <- deg.(s) + 1)
+    arr;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    offsets.(v) <- offsets.(v - 1) + deg.(v - 1)
+  done;
+  let cursor = Array.copy offsets in
+  let edges = Array.make m 0 in
+  Array.iter
+    (fun (s, d) ->
+      if d < 0 || d >= n then invalid_arg "Graph: vertex out of range";
+      edges.(cursor.(s)) <- d;
+      cursor.(s) <- cursor.(s) + 1)
+    arr;
+  { n; m; offsets; edges }
+
+let of_edge_list ~n l = of_edge_array ~n (Array.of_list l)
+
+let out_degree t v = t.offsets.(v + 1) - t.offsets.(v)
+
+let iter_neighbors t v f =
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f t.edges.(i)
+  done
+
+let bytes t = 8 * (t.n + 1 + t.m)

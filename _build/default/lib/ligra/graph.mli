@@ -1,0 +1,21 @@
+(** Directed graph in compressed sparse row (CSR) form — Ligra's in-memory
+    representation. *)
+
+type t = {
+  n : int;  (** vertices *)
+  m : int;  (** directed edges *)
+  offsets : int array;  (** length n+1; edges of v are [offsets.(v) .. offsets.(v+1)) *)
+  edges : int array;  (** length m; target vertices *)
+}
+
+val of_edge_list : n:int -> (int * int) list -> t
+(** [of_edge_list ~n edges] builds the CSR (duplicates kept, as R-MAT
+    produces them; self-loops kept). *)
+
+val of_edge_array : n:int -> (int * int) array -> t
+
+val out_degree : t -> int -> int
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val bytes : t -> int
+(** Approximate in-memory footprint (8 bytes per offset/edge), used to
+    size mmio heaps. *)

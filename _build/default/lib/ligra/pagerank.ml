@@ -1,0 +1,139 @@
+type result = {
+  iterations : int;
+  ranks_sum : float;
+  top_vertex : int;
+  elapsed_cycles : int64;
+}
+
+type charger = { buf : Sim.Costbuf.t; mutable compute : int64 }
+
+let flush ch =
+  if Int64.compare ch.compute 0L > 0 then begin
+    Sim.Engine.delay ~cat:Sim.Engine.User ~label:"ligra_compute" ch.compute;
+    ch.compute <- 0L
+  end;
+  Sim.Costbuf.charge ch.buf
+
+let maybe_flush ch =
+  if Int64.compare (Int64.add ch.compute (Sim.Costbuf.total ch.buf)) 200_000L > 0
+  then flush ch
+
+let transpose (g : Graph.t) =
+  let pairs = Array.make g.Graph.m (0, 0) in
+  let idx = ref 0 in
+  for v = 0 to g.Graph.n - 1 do
+    for e = g.Graph.offsets.(v) to g.Graph.offsets.(v + 1) - 1 do
+      pairs.(!idx) <- (g.Graph.edges.(e), v);
+      incr idx
+    done
+  done;
+  Graph.of_edge_array ~n:g.Graph.n pairs
+
+let cycles_per_edge = 40L
+let cycles_per_vertex = 80L
+
+let run ~eng ~(graph : Graph.t) ~surface ~threads ?(iterations = 10)
+    ?(damping = 0.85) () =
+  if threads <= 0 then invalid_arg "Pagerank.run: threads";
+  let n = graph.Graph.n in
+  let gin = transpose graph in
+  let start_time = Sim.Engine.now eng in
+  let ranks_sum = ref 0. and top_vertex = ref 0 in
+  ignore
+    (Sim.Engine.spawn eng ~name:"pr-driver" ~core:0 (fun () ->
+         let b0 = Sim.Costbuf.create () in
+         let in_offs =
+           Mem_surface.alloc surface ~len:(n + 1) ~init:(fun i -> gin.Graph.offsets.(i))
+         in
+         let in_edgs =
+           Mem_surface.alloc surface ~len:(max 1 gin.Graph.m) ~init:(fun i ->
+               if gin.Graph.m = 0 then 0 else gin.Graph.edges.(i))
+         in
+         let out_deg =
+           Mem_surface.alloc surface ~len:n ~init:(fun v -> Graph.out_degree graph v)
+         in
+         let rank =
+           Mem_surface.alloc surface ~len:n ~init:(fun _ -> 1.0 /. float_of_int n)
+         in
+         let next = Mem_surface.alloc surface ~len:n ~init:(fun _ -> 0.0) in
+         Sim.Costbuf.charge b0;
+         for _iter = 1 to iterations do
+           (* contribution of dangling vertices is spread uniformly *)
+           let dones = Array.init threads (fun _ -> Sim.Sync.Ivar.create ()) in
+           let dangling = Array.make threads 0.0 in
+           for w = 0 to threads - 1 do
+             ignore
+               (Sim.Engine.spawn eng ~name:(Printf.sprintf "pr-w%d" w)
+                  ~core:(w mod 32) (fun () ->
+                    let ch = { buf = Sim.Costbuf.create (); compute = 0L } in
+                    let lo = w * n / threads and hi = ((w + 1) * n / threads) - 1 in
+                    let d = ref 0.0 in
+                    for v = lo to hi do
+                      ch.compute <- Int64.add ch.compute cycles_per_vertex;
+                      if Mem_surface.get out_deg ~buf:ch.buf v = 0 then
+                        d := !d +. Mem_surface.get rank ~buf:ch.buf v;
+                      (* pull from in-neighbours *)
+                      let o0 = Mem_surface.get in_offs ~buf:ch.buf v in
+                      let o1 = Mem_surface.get in_offs ~buf:ch.buf (v + 1) in
+                      let acc = ref 0.0 in
+                      for e = o0 to o1 - 1 do
+                        ch.compute <- Int64.add ch.compute cycles_per_edge;
+                        let u = Mem_surface.get in_edgs ~buf:ch.buf e in
+                        let du = Mem_surface.get out_deg ~buf:ch.buf u in
+                        if du > 0 then
+                          acc :=
+                            !acc
+                            +. (Mem_surface.get rank ~buf:ch.buf u /. float_of_int du);
+                        maybe_flush ch
+                      done;
+                      Mem_surface.set next ~buf:ch.buf v !acc
+                    done;
+                    dangling.(w) <- !d;
+                    flush ch;
+                    Sim.Sync.Ivar.fill dones.(w) ()))
+           done;
+           Array.iter Sim.Sync.Ivar.read dones;
+           let dang = Array.fold_left ( +. ) 0.0 dangling in
+           let base = (1.0 -. damping +. (damping *. dang)) /. float_of_int n in
+           (* apply damping and swap *)
+           let dones2 = Array.init threads (fun _ -> Sim.Sync.Ivar.create ()) in
+           for w = 0 to threads - 1 do
+             ignore
+               (Sim.Engine.spawn eng ~core:(w mod 32) (fun () ->
+                    let ch = { buf = Sim.Costbuf.create (); compute = 0L } in
+                    let lo = w * n / threads and hi = ((w + 1) * n / threads) - 1 in
+                    for v = lo to hi do
+                      ch.compute <- Int64.add ch.compute cycles_per_vertex;
+                      let r = base +. (damping *. Mem_surface.get next ~buf:ch.buf v) in
+                      Mem_surface.set rank ~buf:ch.buf v r;
+                      Mem_surface.set next ~buf:ch.buf v 0.0;
+                      maybe_flush ch
+                    done;
+                    flush ch;
+                    Sim.Sync.Ivar.fill dones2.(w) ()))
+           done;
+           Array.iter Sim.Sync.Ivar.read dones2
+         done;
+         (* summarize *)
+         let b = Sim.Costbuf.create () in
+         let sum = ref 0.0 and best = ref 0 and bestr = ref neg_infinity in
+         for v = 0 to n - 1 do
+           let r = Mem_surface.get rank ~buf:b v in
+           sum := !sum +. r;
+           if r > !bestr then begin
+             bestr := r;
+             best := v
+           end
+         done;
+         Sim.Costbuf.charge b;
+         ranks_sum := !sum;
+         top_vertex := !best;
+         List.iter Mem_surface.free [ rank; next ];
+         List.iter Mem_surface.free [ in_offs; in_edgs; out_deg ]));
+  Sim.Engine.run eng;
+  {
+    iterations;
+    ranks_sum = !ranks_sum;
+    top_vertex = !top_vertex;
+    elapsed_cycles = Int64.sub (Sim.Engine.now eng) start_time;
+  }

@@ -1,0 +1,27 @@
+(** Ligra-style parallel PageRank over a heap surface.
+
+    A second Ligra application beyond the paper's BFS evaluation,
+    exercising the dense (pull) edgeMap every iteration: each vertex
+    gathers rank from its in-neighbours.  Like {!Bfs}, all state lives on
+    a {!Mem_surface.t}, so the same code runs in DRAM, over Linux [mmap],
+    or over Aquila. *)
+
+type result = {
+  iterations : int;
+  ranks_sum : float;  (** ≈ 1.0 (probability mass conservation check) *)
+  top_vertex : int;  (** highest-ranked vertex *)
+  elapsed_cycles : int64;
+}
+
+val run :
+  eng:Sim.Engine.t ->
+  graph:Graph.t ->
+  surface:Mem_surface.t ->
+  threads:int ->
+  ?iterations:int ->
+  ?damping:float ->
+  unit ->
+  result
+(** [run ~eng ~graph ~surface ~threads ()] executes [iterations] (default
+    10) synchronous PageRank rounds with damping factor [damping]
+    (default 0.85).  Spawns fibers and drains the engine. *)

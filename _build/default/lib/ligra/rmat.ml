@@ -1,0 +1,30 @@
+let generate ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) ~seed ~n ~m () =
+  if n <= 0 || m < 0 then invalid_arg "Rmat.generate";
+  if a +. b +. c >= 1.0 then invalid_arg "Rmat.generate: a+b+c must be < 1";
+  let rng = Sim.Rng.create seed in
+  let levels =
+    let rec go l = if 1 lsl l >= n then l else go (l + 1) in
+    go 0
+  in
+  let gen_edge () =
+    let s = ref 0 and d = ref 0 in
+    for _ = 1 to levels do
+      let x = Sim.Rng.float rng in
+      (* noise to avoid exact self-similarity, as in the reference code *)
+      let quadrant =
+        if x < a then `TL else if x < a +. b then `TR else if x < a +. b +. c then `BL else `BR
+      in
+      s := !s lsl 1;
+      d := !d lsl 1;
+      (match quadrant with
+      | `TL -> ()
+      | `TR -> d := !d lor 1
+      | `BL -> s := !s lor 1
+      | `BR ->
+          s := !s lor 1;
+          d := !d lor 1)
+    done;
+    (!s mod n, !d mod n)
+  in
+  let arr = Array.init m (fun _ -> gen_edge ()) in
+  Graph.of_edge_array ~n arr

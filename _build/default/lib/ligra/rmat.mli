@@ -1,0 +1,10 @@
+(** R-MAT recursive-matrix graph generator (Chakrabarti et al. [10]).
+
+    The paper's Ligra evaluation uses an R-MAT graph of 100 M vertices
+    with 10× directed edges; we generate the same shape scaled down
+    (DESIGN.md §2).  Deterministic for a given seed. *)
+
+val generate : ?a:float -> ?b:float -> ?c:float -> seed:int -> n:int -> m:int -> unit -> Graph.t
+(** [generate ~seed ~n ~m ()] produces a graph with [n] vertices (rounded up
+    to a power of two internally, then mapped back) and [m] directed
+    edges.  Defaults a=0.57, b=0.19, c=0.19 (d = 1-a-b-c = 0.05). *)

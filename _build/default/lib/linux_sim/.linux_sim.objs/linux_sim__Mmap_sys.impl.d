@@ -1,0 +1,1 @@
+lib/linux_sim/mmap_sys.ml: Bytes Dstruct Hw Int Int64 List Mcache Page_cache Sim

@@ -1,0 +1,1 @@
+lib/linux_sim/mmap_sys.mli: Bytes Hw Page_cache Sdevice Sim

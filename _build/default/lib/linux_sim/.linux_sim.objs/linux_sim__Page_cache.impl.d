@@ -1,0 +1,1 @@
+lib/linux_sim/page_cache.ml: Array Bytes Dstruct Hashtbl Hw Int64 List Mcache Printf Queue Sdevice Sim

@@ -1,0 +1,1 @@
+lib/linux_sim/page_cache.mli: Bytes Hw Mcache Sdevice Sim

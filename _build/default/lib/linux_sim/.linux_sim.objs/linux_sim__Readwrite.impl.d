@@ -1,0 +1,1 @@
+lib/linux_sim/readwrite.ml: Bytes Hw Mcache Page_cache Sdevice Sim

@@ -1,0 +1,1 @@
+lib/linux_sim/readwrite.mli: Bytes Hw Page_cache Sdevice

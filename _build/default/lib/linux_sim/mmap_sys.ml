@@ -1,0 +1,212 @@
+let psz = Hw.Defs.page_size
+
+module Pagekey = Mcache.Pagekey
+module Vtree = Dstruct.Rbtree.Make (Int)
+
+type config = { cache : Page_cache.config; vma_rb_cost_multiplier : int }
+
+let default_config ~cache_frames =
+  { cache = Page_cache.default_config ~frames:cache_frames; vma_rb_cost_multiplier = 1 }
+
+type file = {
+  fid : int;
+  fname : string;
+  size_pages : int;
+  translate : int -> int option;
+}
+
+type area = { vstart : int; npages : int; afile : file; file_page0 : int }
+type region = { r_area : area }
+
+type t = {
+  lcosts : Hw.Costs.t;
+  lmachine : Hw.Machine.t;
+  pt : Hw.Page_table.t;
+  pc : Page_cache.t;
+  vmas : area Vtree.t;
+  mmap_sem : Sim.Sync.Mutex.t; (* held for updates; read side is a constant *)
+  cfg : config;
+  mutable next_vpn : int;
+  mutable next_fid : int;
+  mutable thread_cores : int list;
+  mutable s_accesses : int;
+  mutable s_faults : int;
+}
+
+let create ?(costs = Hw.Costs.default) ?machine cfg =
+  let machine = match machine with Some m -> m | None -> Hw.Machine.create () in
+  let pt = Hw.Page_table.create () in
+  {
+    lcosts = costs;
+    lmachine = machine;
+    pt;
+    pc = Page_cache.create ~costs ~machine ~page_table:pt cfg.cache;
+    vmas = Vtree.create ();
+    mmap_sem = Sim.Sync.Mutex.create ~name:"mmap_sem" ();
+    cfg;
+    next_vpn = 256;
+    next_fid = 1;
+    thread_cores = [];
+    s_accesses = 0;
+    s_faults = 0;
+  }
+
+let costs t = t.lcosts
+let machine t = t.lmachine
+let page_cache t = t.pc
+
+let enter_thread t =
+  let ctx = Sim.Engine.self () in
+  if not (List.mem ctx.Sim.Engine.core t.thread_cores) then begin
+    t.thread_cores <- ctx.Sim.Engine.core :: t.thread_cores;
+    Page_cache.set_shoot_cores t.pc t.thread_cores
+  end
+
+let attach_file t ~name ~access ~translate ~size_pages =
+  let f = { fid = t.next_fid; fname = name; size_pages; translate } in
+  ignore f.fname;
+  t.next_fid <- t.next_fid + 1;
+  Page_cache.register_file t.pc ~file_id:f.fid ~access ~translate;
+  f
+
+let file_id f = f.fid
+
+let delay_sys ?label c = Sim.Engine.delay ~cat:Sim.Engine.Sys ?label c
+
+let mmap t file ?(file_page0 = 0) ~npages () =
+  if npages <= 0 || file_page0 < 0 || file_page0 + npages > file.size_pages then
+    invalid_arg "Mmap_sys.mmap: range outside file";
+  delay_sys ~label:"syscall" t.lcosts.Hw.Costs.syscall;
+  Sim.Sync.Mutex.lock t.mmap_sem;
+  let vstart = t.next_vpn in
+  t.next_vpn <- t.next_vpn + npages + 1;
+  let area = { vstart; npages; afile = file; file_page0 } in
+  ignore (Vtree.insert t.vmas vstart area);
+  delay_sys ~label:"vma" t.lcosts.Hw.Costs.vma_lookup;
+  Sim.Sync.Mutex.unlock t.mmap_sem;
+  { r_area = area }
+
+let munmap t region =
+  delay_sys ~label:"syscall" t.lcosts.Hw.Costs.syscall;
+  Sim.Sync.Mutex.lock t.mmap_sem;
+  ignore (Vtree.remove t.vmas region.r_area.vstart);
+  delay_sys ~label:"vma" t.lcosts.Hw.Costs.vma_lookup;
+  Sim.Sync.Mutex.unlock t.mmap_sem;
+  (* tear down PTEs; pages stay in the page cache *)
+  let core = (Sim.Engine.self ()).Sim.Engine.core in
+  let vpns = ref [] in
+  for p = 0 to region.r_area.npages - 1 do
+    let vpn = region.r_area.vstart + p in
+    match Hw.Page_table.unmap t.pt ~vpn with
+    | Some _ ->
+        delay_sys ~label:"munmap" t.lcosts.Hw.Costs.pte_update;
+        vpns := vpn :: !vpns
+    | None -> ()
+  done;
+  match !vpns with
+  | [] -> ()
+  | vpns ->
+      let own = (Hw.Machine.core t.lmachine core).Hw.Machine.tlb in
+      let local =
+        if List.length vpns > 33 then Hw.Tlb.flush own t.lcosts
+        else
+          List.fold_left
+            (fun acc vpn ->
+              Int64.add acc (Hw.Tlb.invalidate_local own t.lcosts ~vpn))
+            0L vpns
+      in
+      let send =
+        Hw.Ipi.shootdown t.lmachine t.lcosts ~mode:Hw.Ipi.Kernel_ipi ~src:core
+          ~targets:t.thread_cores ~vpns
+      in
+      delay_sys ~label:"tlb" (Int64.add local send)
+
+let msync t region =
+  delay_sys ~label:"syscall" t.lcosts.Hw.Costs.syscall;
+  let core = (Sim.Engine.self ()).Sim.Engine.core in
+  Page_cache.msync_file t.pc ~core ~file_id:region.r_area.afile.fid
+
+let region_npages r = r.r_area.npages
+
+(* VMA lookup under mmap_sem (read side modelled as a constant plus the
+   red-black walk; write-side updates take the mutex). *)
+let vma_lookup_cost t =
+  let d = max 1 (Vtree.depth_estimate t.vmas * t.cfg.vma_rb_cost_multiplier) in
+  Int64.add 120L (Int64.mul t.lcosts.Hw.Costs.vma_lookup (Int64.of_int (max 1 (d / 4))))
+
+let rec touch_page ?(attempt = 0) t region ~page ~write buf =
+  if page < 0 || page >= region.r_area.npages then
+    invalid_arg "Mmap_sys: access outside region";
+  if attempt > 100 then failwith "Mmap_sys: access cannot make progress (thrash)";
+  let vpn = region.r_area.vstart + page in
+  let core = (Sim.Engine.self ()).Sim.Engine.core in
+  t.s_accesses <- t.s_accesses + 1;
+  let irq = Hw.Machine.drain_irq t.lmachine ~core in
+  Sim.Costbuf.add buf "irq" irq;
+  let own = (Hw.Machine.core t.lmachine core).Hw.Machine.tlb in
+  Sim.Costbuf.add buf "tlb_walk" (Hw.Tlb.access own t.lcosts ~vpn);
+  match Hw.Page_table.find t.pt ~vpn with
+  | Some pte when (not write) || pte.Hw.Page_table.writable ->
+      if write then pte.Hw.Page_table.dirty <- true;
+      pte.Hw.Page_table.pfn
+  | _ ->
+      t.s_faults <- t.s_faults + 1;
+      Sim.Costbuf.charge buf;
+      (* ring 3 → ring 0 trap *)
+      delay_sys ~label:"trap"
+        (Hw.Domain_x.fault_transition_cost t.lcosts Hw.Domain_x.Ring3);
+      delay_sys ~label:"fault_entry" t.lcosts.Hw.Costs.kernel_fault_entry;
+      delay_sys ~label:"vma" (vma_lookup_cost t);
+      let fpage = region.r_area.file_page0 + page in
+      let key = Pagekey.make ~file:region.r_area.afile.fid ~page:fpage in
+      Page_cache.fault t.pc ~core ~key ~vpn ~write;
+      (match Hw.Page_table.find t.pt ~vpn with
+      | Some pte ->
+          if write then pte.Hw.Page_table.dirty <- true;
+          pte.Hw.Page_table.pfn
+      | None -> touch_page ~attempt:(attempt + 1) t region ~page ~write buf)
+
+let touch t region ~page ~write =
+  let buf = Sim.Costbuf.create () in
+  ignore (touch_page t region ~page ~write buf);
+  Sim.Costbuf.charge buf
+
+let touch_buf t region ~page ~write ~buf =
+  ignore (touch_page t region ~page ~write buf)
+
+let read t region ~off ~len ~dst =
+  if off < 0 || len < 0 || off + len > region.r_area.npages * psz then
+    invalid_arg "Mmap_sys.read: range outside region";
+  if Bytes.length dst < len then invalid_arg "Mmap_sys.read: dst too small";
+  let buf = Sim.Costbuf.create () in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page = abs / psz and in_page = abs mod psz in
+    let chunk = min (len - !pos) (psz - in_page) in
+    let pfn = touch_page t region ~page ~write:false buf in
+    let data = Page_cache.pfn_data t.pc pfn in
+    Bytes.blit data in_page dst !pos chunk;
+    pos := !pos + chunk
+  done;
+  Sim.Costbuf.charge buf
+
+let write t region ~off ~src =
+  let len = Bytes.length src in
+  if off < 0 || off + len > region.r_area.npages * psz then
+    invalid_arg "Mmap_sys.write: range outside region";
+  let buf = Sim.Costbuf.create () in
+  let pos = ref 0 in
+  while !pos < len do
+    let abs = off + !pos in
+    let page = abs / psz and in_page = abs mod psz in
+    let chunk = min (len - !pos) (psz - in_page) in
+    let pfn = touch_page t region ~page ~write:true buf in
+    let data = Page_cache.pfn_data t.pc pfn in
+    Bytes.blit src !pos data in_page chunk;
+    pos := !pos + chunk
+  done;
+  Sim.Costbuf.charge buf
+
+let accesses t = t.s_accesses
+let faults t = t.s_faults

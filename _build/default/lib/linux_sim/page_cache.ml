@@ -1,0 +1,552 @@
+let psz = Hw.Defs.page_size
+
+module Pagekey = Mcache.Pagekey
+
+type config = {
+  frames : int;
+  readahead : int;
+  reclaim_batch : int;
+  writeback_merge : int;
+}
+
+let default_config ~frames =
+  { frames; readahead = 32; reclaim_batch = 32; writeback_merge = 64 }
+
+type frame = {
+  fno : int;
+  data : Bytes.t;
+  mutable key : int; (* -1 when free *)
+  mutable vpn : int;
+  mutable dirty : bool;
+}
+
+type file_meta = {
+  tree : frame Dstruct.Radix_tree.t; (* indexed by file page *)
+  tree_lock : Sim.Sync.Mutex.t;
+  dirty_tags : (int, unit) Hashtbl.t; (* file pages tagged dirty *)
+  access : Sdevice.Access.t;
+  translate : int -> int option;
+}
+
+type t = {
+  costs : Hw.Costs.t;
+  machine : Hw.Machine.t;
+  pt : Hw.Page_table.t;
+  cfg : config;
+  arr : frame array;
+  free : int Queue.t;
+  zone_lock : Sim.Sync.Mutex.t;
+  lru : Dstruct.Clock_lru.t;
+  lru_lock : Sim.Sync.Mutex.t;
+  files : (int, file_meta) Hashtbl.t;
+  inflight : (int, unit Sim.Sync.Ivar.t) Hashtbl.t;
+  flusher_waitq : Sim.Sync.Waitq.t;
+  mutable flusher : (int * int) option; (* (hi, lo) watermarks *)
+  mutable shoot_cores : int list;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_read_ios : int;
+  mutable s_wb_ios : int;
+}
+
+let create ~costs ~machine ~page_table cfg =
+  if cfg.frames <= 0 then invalid_arg "Page_cache.create";
+  let t =
+    {
+      costs;
+      machine;
+      pt = page_table;
+      cfg;
+      arr =
+        Array.init cfg.frames (fun i ->
+            { fno = i; data = Bytes.create psz; key = -1; vpn = -1; dirty = false });
+      free = Queue.create ();
+      zone_lock = Sim.Sync.Mutex.create ~name:"zone_lock" ();
+      lru = Dstruct.Clock_lru.create ~nframes:cfg.frames;
+      lru_lock = Sim.Sync.Mutex.create ~name:"lru_lock" ();
+      files = Hashtbl.create 16;
+      inflight = Hashtbl.create 64;
+      flusher_waitq = Sim.Sync.Waitq.create ();
+      flusher = None;
+      shoot_cores = [];
+      s_hits = 0;
+      s_misses = 0;
+      s_evictions = 0;
+      s_read_ios = 0;
+      s_wb_ios = 0;
+    }
+  in
+  for i = 0 to cfg.frames - 1 do
+    Queue.add i t.free
+  done;
+  t
+
+let register_file t ~file_id ~access ~translate =
+  Hashtbl.replace t.files file_id
+    {
+      tree = Dstruct.Radix_tree.create ();
+      tree_lock =
+        Sim.Sync.Mutex.create ~name:(Printf.sprintf "tree_lock[%d]" file_id) ();
+      dirty_tags = Hashtbl.create 64;
+      access;
+      translate;
+    }
+
+let meta_of t file_id =
+  match Hashtbl.find_opt t.files file_id with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Page_cache: unregistered file %d" file_id)
+
+let set_shoot_cores t cores = t.shoot_cores <- cores
+
+let delay_sys ?label c = Sim.Engine.delay ~cat:Sim.Engine.Sys ?label c
+
+(* Lock-free (RCU) lookup, as in Linux find_get_page. *)
+let lookup t key =
+  let m = meta_of t (Pagekey.file_of key) in
+  delay_sys ~label:"index" t.costs.Hw.Costs.radix_lookup;
+  Dstruct.Radix_tree.find m.tree (Pagekey.page_of key)
+
+let shootdown_vpns t ~core vpns =
+  match vpns with
+  | [] -> ()
+  | _ :: _ ->
+      let c = t.costs in
+      let own = (Hw.Machine.core t.machine core).Hw.Machine.tlb in
+      let local =
+        if List.length vpns > 33 then Hw.Tlb.flush own c
+        else
+          List.fold_left
+            (fun acc vpn -> Int64.add acc (Hw.Tlb.invalidate_local own c ~vpn))
+            0L vpns
+      in
+      let send =
+        Hw.Ipi.shootdown t.machine c ~mode:Hw.Ipi.Kernel_ipi ~src:core
+          ~targets:t.shoot_cores ~vpns
+      in
+      delay_sys ~label:"tlb" (Int64.add local send)
+
+(* Write the given (key, frame) pairs back, merging device-contiguous
+   runs.  Entries must already be guarded (tree entries removed or pages
+   locked).  Suspends. *)
+let writeback_pairs t pairs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  let flush file dev_start run =
+    match run with
+    | [] -> ()
+    | _ ->
+        let frames_in_order = List.rev run in
+        let count = List.length frames_in_order in
+        let scratch = Bytes.create (count * psz) in
+        List.iteri
+          (fun i (fr : frame) -> Bytes.blit fr.data 0 scratch (i * psz) psz)
+          frames_in_order;
+        let m = meta_of t file in
+        Sdevice.Access.write_pages m.access ~page:dev_start ~count ~src:scratch;
+        t.s_wb_ios <- t.s_wb_ios + 1
+  in
+  let state = ref None in
+  let runs = ref [] in
+  List.iter
+    (fun (key, (fr : frame)) ->
+      let file = Pagekey.file_of key and page = Pagekey.page_of key in
+      let m = meta_of t file in
+      match m.translate page with
+      | None -> ()
+      | Some dev -> (
+          match !state with
+          | Some (f, start, next, run)
+            when f = file && dev = next && next - start < t.cfg.writeback_merge ->
+              state := Some (f, start, next + 1, fr :: run)
+          | Some prev ->
+              runs := prev :: !runs;
+              state := Some (file, dev, dev + 1, [ fr ])
+          | None -> state := Some (file, dev, dev + 1, [ fr ])))
+    sorted;
+  (match !state with Some last -> runs := last :: !runs | None -> ());
+  List.iter (fun (f, start, _n, run) -> flush f start run) (List.rev !runs)
+
+(* Direct reclaim by the faulting thread: scan the global LRU under
+   [lru_lock], then tear down each victim under its file's [tree_lock]. *)
+let reclaim t ~core =
+  let c = t.costs in
+  Sim.Sync.Mutex.lock t.lru_lock;
+  let victims = Dstruct.Clock_lru.evict_candidates t.lru t.cfg.reclaim_batch in
+  delay_sys ~label:"lru"
+    (Int64.mul c.lru_update (Int64.of_int (max 1 (List.length victims))));
+  Sim.Sync.Mutex.unlock t.lru_lock;
+  let torn = ref [] in
+  List.iter
+    (fun fno ->
+      let fr = t.arr.(fno) in
+      if fr.key < 0 then ()
+      else if Dstruct.Clock_lru.is_referenced t.lru fno then
+        (* re-touched since selection: keep it *)
+        Dstruct.Clock_lru.set_active t.lru fno true
+      else begin
+        let key = fr.key in
+        let m = meta_of t (Pagekey.file_of key) in
+        Sim.Sync.Mutex.lock m.tree_lock;
+        (* re-check under the lock *)
+        if fr.key = key && not (Dstruct.Clock_lru.is_referenced t.lru fno) then begin
+          ignore (Dstruct.Radix_tree.remove m.tree (Pagekey.page_of key));
+          delay_sys ~label:"index" c.radix_update;
+          (* object-based reverse-mapping walk to find the PTEs — the CPU
+             cost FastMap [50] replaces with full reverse mappings *)
+          delay_sys ~label:"evict" 900L;
+          let was_dirty = fr.dirty in
+          if was_dirty then begin
+            Hashtbl.remove m.dirty_tags (Pagekey.page_of key);
+            fr.dirty <- false
+          end;
+          let iv =
+            if was_dirty then begin
+              let iv = Sim.Sync.Ivar.create () in
+              Hashtbl.replace t.inflight key iv;
+              Some iv
+            end
+            else None
+          in
+          Sim.Sync.Mutex.unlock m.tree_lock;
+          torn := (key, fr, iv) :: !torn
+        end
+        else begin
+          Sim.Sync.Mutex.unlock m.tree_lock;
+          Dstruct.Clock_lru.set_active t.lru fno true
+        end
+      end)
+    victims;
+  let torn = !torn in
+  (* batched unmap + one shootdown *)
+  let vpns =
+    List.filter_map
+      (fun (_, (fr : frame), _) ->
+        if fr.vpn >= 0 then begin
+          ignore (Hw.Page_table.unmap t.pt ~vpn:fr.vpn);
+          delay_sys ~label:"evict" c.pte_update;
+          let v = fr.vpn in
+          fr.vpn <- -1;
+          Some v
+        end
+        else None)
+      torn
+  in
+  shootdown_vpns t ~core vpns;
+  let dirty_pairs =
+    List.filter_map
+      (fun (key, fr, iv) -> match iv with Some _ -> Some (key, fr) | None -> None)
+      torn
+  in
+  writeback_pairs t dirty_pairs;
+  List.iter
+    (fun (key, _, iv) ->
+      match iv with
+      | Some iv ->
+          Hashtbl.remove t.inflight key;
+          Sim.Sync.Ivar.fill iv ()
+      | None -> ())
+    torn;
+  Sim.Sync.Mutex.lock t.zone_lock;
+  List.iter
+    (fun (_, (fr : frame), _) ->
+      fr.key <- -1;
+      Queue.add fr.fno t.free)
+    torn;
+  Sim.Sync.Mutex.unlock t.zone_lock;
+  t.s_evictions <- t.s_evictions + List.length torn;
+  torn <> []
+
+let rec alloc_frame t ~core attempts =
+  if attempts > 1000 then failwith "Page_cache: reclaim cannot make progress";
+  Sim.Sync.Mutex.lock t.zone_lock;
+  let r = Queue.take_opt t.free in
+  Sim.Sync.Mutex.unlock t.zone_lock;
+  match r with
+  | Some fno -> t.arr.(fno)
+  | None ->
+      if not (reclaim t ~core) then Sim.Engine.idle_wait 2000L;
+      alloc_frame t ~core (attempts + 1)
+
+(* Fill [key] (and a readahead window) into the cache.  Assumes the caller
+   placed an in-flight guard for [key].  Returns the frame. *)
+let fill t ~core ~key =
+  let c = t.costs in
+  let file = Pagekey.file_of key and page = Pagekey.page_of key in
+  let m = meta_of t file in
+  let dev =
+    match m.translate page with
+    | Some d -> d
+    | None -> invalid_arg "Page_cache: fault beyond end of file"
+  in
+  (* Collect the window: the faulting page plus readahead. *)
+  let window = ref [ (key, dev, alloc_frame t ~core 0) ] in
+  let n = ref 1 in
+  let continue_ = ref (t.cfg.readahead > 1) in
+  while !continue_ && !n < t.cfg.readahead do
+    let p = page + !n in
+    let k = Pagekey.make ~file ~page:p in
+    match m.translate p with
+    | Some d
+      when d = dev + !n
+           && (not (Dstruct.Radix_tree.mem m.tree p))
+           && not (Hashtbl.mem t.inflight k) ->
+        let fr = alloc_frame t ~core 0 in
+        let iv = Sim.Sync.Ivar.create () in
+        Hashtbl.replace t.inflight k iv;
+        window := (k, d, fr) :: !window;
+        ignore iv;
+        incr n
+    | _ -> continue_ := false
+  done;
+  let window = List.rev !window in
+  let count = List.length window in
+  let scratch =
+    if count = 1 then (match window with [ (_, _, fr) ] -> fr.data | _ -> assert false)
+    else Bytes.create (count * psz)
+  in
+  Sdevice.Access.read_pages m.access ~page:dev ~count ~dst:scratch;
+  t.s_read_ios <- t.s_read_ios + 1;
+  (* Insert each page under the tree_lock (add_to_page_cache). *)
+  List.iteri
+    (fun i (k, _, (fr : frame)) ->
+      if count > 1 then Bytes.blit scratch (i * psz) fr.data 0 psz;
+      fr.key <- k;
+      fr.dirty <- false;
+      fr.vpn <- -1;
+      Sim.Sync.Mutex.lock m.tree_lock;
+      ignore (Dstruct.Radix_tree.insert m.tree (Pagekey.page_of k) fr);
+      (* radix insert plus memcg charge + node accounting, all under the
+         lock, as in 4.14's add_to_page_cache_lru *)
+      delay_sys ~label:"index" (Int64.add c.radix_update 600L);
+      Sim.Sync.Mutex.unlock m.tree_lock;
+      Sim.Sync.Mutex.lock t.lru_lock;
+      Dstruct.Clock_lru.set_active t.lru fr.fno true;
+      Dstruct.Clock_lru.touch t.lru fr.fno;
+      delay_sys ~label:"lru" c.lru_update;
+      Sim.Sync.Mutex.unlock t.lru_lock;
+      if k <> key then begin
+        (match Hashtbl.find_opt t.inflight k with
+        | Some iv ->
+            Hashtbl.remove t.inflight k;
+            Sim.Sync.Ivar.fill iv ()
+        | None -> ())
+      end)
+    window;
+  match window with (_, _, fr) :: _ -> fr | [] -> assert false
+
+let total_dirty t =
+  Hashtbl.fold (fun _ m acc -> acc + Hashtbl.length m.dirty_tags) t.files 0
+
+let set_dirty t key (fr : frame) =
+  let m = meta_of t (Pagekey.file_of key) in
+  if not fr.dirty then begin
+    Sim.Sync.Mutex.lock m.tree_lock;
+    fr.dirty <- true;
+    Hashtbl.replace m.dirty_tags (Pagekey.page_of key) ();
+    delay_sys ~label:"dirty" t.costs.Hw.Costs.radix_update;
+    Sim.Sync.Mutex.unlock m.tree_lock;
+    match t.flusher with
+    | Some (hi, _) when total_dirty t > hi ->
+        ignore (Sim.Sync.Waitq.signal t.flusher_waitq)
+    | _ -> ()
+  end
+
+let rec ensure_resident t ~core ~key =
+  match lookup t key with
+  | Some fr ->
+      t.s_hits <- t.s_hits + 1;
+      Dstruct.Clock_lru.touch t.lru fr.fno;
+      delay_sys ~label:"lru" t.costs.Hw.Costs.lru_update;
+      fr
+  | None -> (
+      match Hashtbl.find_opt t.inflight key with
+      | Some iv ->
+          Sim.Sync.Ivar.read iv;
+          ensure_resident t ~core ~key
+      | None ->
+          let iv = Sim.Sync.Ivar.create () in
+          Hashtbl.replace t.inflight key iv;
+          let fr = fill t ~core ~key in
+          Hashtbl.remove t.inflight key;
+          Sim.Sync.Ivar.fill iv ();
+          t.s_misses <- t.s_misses + 1;
+          fr)
+
+let fault t ~core ~key ~vpn ~write =
+  let c = t.costs in
+  let fr = ensure_resident t ~core ~key in
+  fr.vpn <- vpn;
+  Hw.Page_table.map t.pt ~vpn ~pfn:fr.fno ~writable:write;
+  delay_sys ~label:"map" c.pte_update;
+  if write then set_dirty t key fr
+
+let buffered_read t ~core ~key =
+  let c = t.costs in
+  let fr = ensure_resident t ~core ~key in
+  (* VFS + copy_to_user for one page *)
+  delay_sys ~label:"copy" c.kernel_buffered_read;
+  fr.fno
+
+let set_dirty_key t ~key =
+  let m = meta_of t (Pagekey.file_of key) in
+  match Dstruct.Radix_tree.find m.tree (Pagekey.page_of key) with
+  | Some fr -> set_dirty t key fr
+  | None -> ()
+
+let pfn_data t pfn = t.arr.(pfn).data
+
+let is_resident t ~key =
+  let m = meta_of t (Pagekey.file_of key) in
+  Dstruct.Radix_tree.mem m.tree (Pagekey.page_of key)
+
+let msync_file t ~core ~file_id =
+  let c = t.costs in
+  let m = meta_of t file_id in
+  Sim.Sync.Mutex.lock m.tree_lock;
+  let pages = Hashtbl.fold (fun p () acc -> p :: acc) m.dirty_tags [] in
+  let pairs =
+    List.filter_map
+      (fun p ->
+        match Dstruct.Radix_tree.find m.tree p with
+        | Some fr when fr.dirty ->
+            fr.dirty <- false;
+            Hashtbl.remove m.dirty_tags p;
+            delay_sys ~label:"dirty" c.radix_update;
+            Some (Pagekey.make ~file:file_id ~page:p, fr)
+        | _ -> None)
+      (List.sort compare pages)
+  in
+  Sim.Sync.Mutex.unlock m.tree_lock;
+  (* write-protect so future writes re-tag *)
+  let vpns =
+    List.filter_map
+      (fun (_, (fr : frame)) ->
+        if fr.vpn >= 0 then begin
+          (try Hw.Page_table.set_writable t.pt ~vpn:fr.vpn false
+           with Not_found -> ());
+          delay_sys ~label:"map" c.pte_update;
+          Some fr.vpn
+        end
+        else None)
+      pairs
+  in
+  shootdown_vpns t ~core vpns;
+  writeback_pairs t pairs
+
+let drop_file t ~core ~file_id =
+  let c = t.costs in
+  msync_file t ~core ~file_id;
+  let m = meta_of t file_id in
+  Sim.Sync.Mutex.lock m.tree_lock;
+  let entries = Dstruct.Radix_tree.fold (fun p fr acc -> (p, fr) :: acc) m.tree [] in
+  List.iter
+    (fun (p, _) ->
+      ignore (Dstruct.Radix_tree.remove m.tree p);
+      delay_sys ~label:"index" c.radix_update)
+    entries;
+  Sim.Sync.Mutex.unlock m.tree_lock;
+  let vpns =
+    List.filter_map
+      (fun (_, (fr : frame)) ->
+        if fr.vpn >= 0 then begin
+          ignore (Hw.Page_table.unmap t.pt ~vpn:fr.vpn);
+          let v = fr.vpn in
+          fr.vpn <- -1;
+          Some v
+        end
+        else None)
+      entries
+  in
+  shootdown_vpns t ~core vpns;
+  Sim.Sync.Mutex.lock t.zone_lock;
+  List.iter
+    (fun (_, (fr : frame)) ->
+      Dstruct.Clock_lru.set_active t.lru fr.fno false;
+      fr.key <- -1;
+      fr.dirty <- false;
+      Queue.add fr.fno t.free)
+    entries;
+  Sim.Sync.Mutex.unlock t.zone_lock
+
+(* Background flusher (kswapd/bdi writeback): wakes past the [hi]
+   watermark and writes dirty pages back until below [lo], clearing tags
+   under each file's tree_lock — so, as in Linux, a writeback storm
+   contends with foreground faults (Section 7.2's "aggressive and
+   unpredictable traffic"). *)
+let flush_some t ~core ~batch =
+  let taken = ref [] in
+  Hashtbl.iter
+    (fun file_id m ->
+      if List.length !taken < batch then begin
+        Sim.Sync.Mutex.lock m.tree_lock;
+        let pages = Hashtbl.fold (fun p () acc -> p :: acc) m.dirty_tags [] in
+        let pages = List.sort compare pages in
+        List.iteri
+          (fun i p ->
+            if i < batch - List.length !taken then
+              match Dstruct.Radix_tree.find m.tree p with
+              | Some fr when fr.dirty ->
+                  fr.dirty <- false;
+                  Hashtbl.remove m.dirty_tags p;
+                  delay_sys ~label:"dirty" t.costs.Hw.Costs.radix_update;
+                  taken := (Pagekey.make ~file:file_id ~page:p, fr) :: !taken
+              | _ -> Hashtbl.remove m.dirty_tags p)
+          pages;
+        Sim.Sync.Mutex.unlock m.tree_lock
+      end)
+    t.files;
+  let pairs = !taken in
+  (* write-protect so later stores re-dirty *)
+  let vpns =
+    List.filter_map
+      (fun (_, (fr : frame)) ->
+        if fr.vpn >= 0 then begin
+          (try Hw.Page_table.set_writable t.pt ~vpn:fr.vpn false
+           with Not_found -> ());
+          delay_sys ~label:"map" t.costs.Hw.Costs.pte_update;
+          Some fr.vpn
+        end
+        else None)
+      pairs
+  in
+  shootdown_vpns t ~core vpns;
+  writeback_pairs t pairs;
+  List.length pairs
+
+let spawn_flusher t ~eng ?(hi = 256) ?(lo = 64) ?(core = 0) () =
+  if t.flusher <> None then invalid_arg "Page_cache: flusher already running";
+  t.flusher <- Some (hi, lo);
+  ignore
+    (Sim.Engine.spawn eng ~name:"kflushd" ~core ~daemon:true (fun () ->
+         let continue_ = ref true in
+         while !continue_ do
+           Sim.Sync.Waitq.wait t.flusher_waitq;
+           match t.flusher with
+           | None -> continue_ := false
+           | Some (_, lo) ->
+               let progressing = ref true in
+               while total_dirty t > lo && !progressing do
+                 progressing := flush_some t ~core ~batch:32 > 0
+               done
+         done))
+
+let stop_flusher t =
+  t.flusher <- None;
+  ignore (Sim.Sync.Waitq.signal t.flusher_waitq)
+
+let fault_hits t = t.s_hits
+let misses t = t.s_misses
+let evictions t = t.s_evictions
+let read_ios t = t.s_read_ios
+let writeback_ios t = t.s_wb_ios
+
+let tree_lock_contended t =
+  Hashtbl.fold
+    (fun _ m acc -> Int64.add acc (Sim.Sync.Mutex.contended_cycles m.tree_lock))
+    t.files 0L
+
+let lru_lock_contended t = Sim.Sync.Mutex.contended_cycles t.lru_lock
+
+let dirty_pages t =
+  Hashtbl.fold (fun _ m acc -> acc + Hashtbl.length m.dirty_tags) t.files 0

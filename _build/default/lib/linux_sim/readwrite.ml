@@ -1,0 +1,127 @@
+let psz = Hw.Defs.page_size
+
+type direct = {
+  dcosts : Hw.Costs.t;
+  daccess : Sdevice.Access.t;
+  dtranslate : int -> int option;
+}
+
+type buffered = { pc : Page_cache.t; file_id : int }
+type mode = Direct of direct | Buffered of buffered
+
+type fd = {
+  mode : mode;
+  fsize_pages : int;
+  mutable nreads : int;
+  mutable nwrites : int;
+}
+
+let open_direct ~costs ~access ~translate ~size_pages =
+  {
+    mode = Direct { dcosts = costs; daccess = access; dtranslate = translate };
+    fsize_pages = size_pages;
+    nreads = 0;
+    nwrites = 0;
+  }
+
+let open_buffered ~pc ~file_id ~size_pages =
+  { mode = Buffered { pc; file_id }; fsize_pages = size_pages; nreads = 0; nwrites = 0 }
+
+let size_pages fd = fd.fsize_pages
+
+let check fd ~off ~len =
+  if off < 0 || len < 0 || off + len > fd.fsize_pages * psz then
+    invalid_arg "Readwrite: range outside file"
+
+(* Device pages covering [off, off+len), as (first_page, count). *)
+let span ~off ~len =
+  let first = off / psz in
+  let last = (off + len - 1) / psz in
+  (first, last - first + 1)
+
+let direct_rw d ~off ~len ~is_write k =
+  let first, count = span ~off ~len in
+  (* O_DIRECT requires page-granular device transfers; find the device run
+     and split on discontiguities. *)
+  let scratch = Bytes.create (count * psz) in
+  let rec segments p remaining done_ =
+    if remaining = 0 then ()
+    else
+      match d.dtranslate p with
+      | None -> invalid_arg "Readwrite: beyond end of file"
+      | Some dev0 ->
+          (* extend while contiguous *)
+          let run = ref 1 in
+          let continue_ = ref true in
+          while !continue_ && !run < remaining do
+            match d.dtranslate (p + !run) with
+            | Some dv when dv = dev0 + !run -> incr run
+            | _ -> continue_ := false
+          done;
+          let run = !run in
+          if is_write then
+            Sdevice.Access.write_pages d.daccess ~page:dev0 ~count:run
+              ~src:(Bytes.sub scratch (done_ * psz) (run * psz))
+          else begin
+            let part = Bytes.create (run * psz) in
+            Sdevice.Access.read_pages d.daccess ~page:dev0 ~count:run ~dst:part;
+            Bytes.blit part 0 scratch (done_ * psz) (run * psz)
+          end;
+          segments (p + run) (remaining - run) (done_ + run)
+  in
+  if is_write then k scratch first;
+  (* writes fill scratch before issuing *)
+  if is_write then segments first count 0
+  else begin
+    segments first count 0;
+    k scratch first
+  end
+
+let pread fd ~off ~len ~dst =
+  check fd ~off ~len;
+  if Bytes.length dst < len then invalid_arg "Readwrite.pread: dst too small";
+  fd.nreads <- fd.nreads + 1;
+  match fd.mode with
+  | Direct d ->
+      direct_rw d ~off ~len ~is_write:false (fun scratch first ->
+          Bytes.blit scratch (off - (first * psz)) dst 0 len)
+  | Buffered b ->
+      let core = (Sim.Engine.self ()).Sim.Engine.core in
+      let pos = ref 0 in
+      while !pos < len do
+        let abs = off + !pos in
+        let page = abs / psz and in_page = abs mod psz in
+        let chunk = min (len - !pos) (psz - in_page) in
+        let key = Mcache.Pagekey.make ~file:b.file_id ~page in
+        let pfn = Page_cache.buffered_read b.pc ~core ~key in
+        Bytes.blit (Page_cache.pfn_data b.pc pfn) in_page dst !pos chunk;
+        pos := !pos + chunk
+      done
+
+let pwrite fd ~off ~src =
+  let len = Bytes.length src in
+  check fd ~off ~len;
+  fd.nwrites <- fd.nwrites + 1;
+  match fd.mode with
+  | Direct d ->
+      if off mod psz <> 0 || len mod psz <> 0 then
+        invalid_arg "Readwrite.pwrite: O_DIRECT requires page alignment";
+      direct_rw d ~off ~len ~is_write:true (fun scratch _first ->
+          Bytes.blit src 0 scratch 0 len)
+  | Buffered b ->
+      (* buffered write: fill page, modify, mark dirty *)
+      let core = (Sim.Engine.self ()).Sim.Engine.core in
+      let pos = ref 0 in
+      while !pos < len do
+        let abs = off + !pos in
+        let page = abs / psz and in_page = abs mod psz in
+        let chunk = min (len - !pos) (psz - in_page) in
+        let key = Mcache.Pagekey.make ~file:b.file_id ~page in
+        let pfn = Page_cache.buffered_read b.pc ~core ~key in
+        Bytes.blit src !pos (Page_cache.pfn_data b.pc pfn) in_page chunk;
+        Page_cache.set_dirty_key b.pc ~key;
+        pos := !pos + chunk
+      done
+
+let reads fd = fd.nreads
+let writes fd = fd.nwrites

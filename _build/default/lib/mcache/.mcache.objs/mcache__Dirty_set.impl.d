@@ -1,0 +1,1 @@
+lib/mcache/dirty_set.ml: Array Dstruct Hw Int Int64 List Pagekey

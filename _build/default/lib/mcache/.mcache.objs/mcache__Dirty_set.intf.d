@@ -1,0 +1,1 @@
+lib/mcache/dirty_set.mli: Hw Pagekey

@@ -1,0 +1,1 @@
+lib/mcache/dram_cache.ml: Array Bytes Dirty_set Dstruct Freelist Hashtbl Hw Int64 List Pagekey Printf Sdevice Sim

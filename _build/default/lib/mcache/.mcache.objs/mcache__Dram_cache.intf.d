@@ -1,0 +1,1 @@
+lib/mcache/dram_cache.mli: Bytes Hw Pagekey Sdevice Sim

@@ -1,0 +1,1 @@
+lib/mcache/freelist.ml: Array Fun Hw Int64 List Queue

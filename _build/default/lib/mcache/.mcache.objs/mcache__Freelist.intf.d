@@ -1,0 +1,1 @@
+lib/mcache/freelist.mli: Hw

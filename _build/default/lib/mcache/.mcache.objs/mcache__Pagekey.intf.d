@@ -1,0 +1,1 @@
+lib/mcache/pagekey.mli: Format

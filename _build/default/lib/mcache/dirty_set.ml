@@ -1,0 +1,68 @@
+module Itree = Dstruct.Rbtree.Make (Int)
+
+type t = { costs : Hw.Costs.t; trees : int Itree.t array; mutable count : int }
+
+let create costs ~cores =
+  if cores <= 0 then invalid_arg "Dirty_set.create";
+  { costs; trees = Array.init cores (fun _ -> Itree.create ()); count = 0 }
+
+let op_cost t tree =
+  Int64.mul t.costs.Hw.Costs.rb_op (Int64.of_int (max 1 (Itree.depth_estimate tree)))
+
+let add t ~core ~key ~frame =
+  let tree = t.trees.(core) in
+  let cost = op_cost t tree in
+  (match Itree.insert tree key frame with
+  | None -> t.count <- t.count + 1
+  | Some _ -> ());
+  cost
+
+let remove t ~core ~key =
+  let tree = t.trees.(core) in
+  let cost = op_cost t tree in
+  (match Itree.remove tree key with
+  | Some _ -> t.count <- t.count - 1
+  | None -> ());
+  cost
+
+let total t = t.count
+
+let drain_sorted t ?file ?limit () =
+  let keep key = match file with None -> true | Some f -> Pagekey.file_of key = f in
+  let cost = ref 0L in
+  let all = ref [] in
+  Array.iter
+    (fun tree ->
+      let taken = ref [] in
+      Itree.iter (fun k f -> if keep k then taken := (k, f) :: !taken) tree;
+      List.iter
+        (fun (k, _) ->
+          cost := Int64.add !cost (op_cost t tree);
+          ignore (Itree.remove tree k);
+          t.count <- t.count - 1)
+        !taken;
+      all := !taken @ !all)
+    t.trees;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !all in
+  let sorted =
+    match limit with
+    | None -> sorted
+    | Some n ->
+        (* keep the n smallest; put the rest back *)
+        let rec split i acc = function
+          | [] -> (List.rev acc, [])
+          | x :: rest when i < n -> split (i + 1) (x :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let take, back = split 0 [] sorted in
+        List.iter
+          (fun (k, f) ->
+            (* return overflow entries to core 0's tree *)
+            ignore (Itree.insert t.trees.(0) k f);
+            t.count <- t.count + 1)
+          back;
+        take
+  in
+  (sorted, !cost)
+
+let mem t ~key ~core = Itree.find t.trees.(core) key <> None

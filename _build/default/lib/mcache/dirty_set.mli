@@ -1,0 +1,28 @@
+(** Per-core red-black trees of dirty pages, sorted by device offset.
+
+    Aquila keeps dirty pages out of the lookup hash table, in one
+    red-black tree per core, so that (a) marking a page dirty never
+    contends on a shared lock and (b) write-back can drain pages in
+    ascending offset order and merge adjacent ones into large I/Os
+    (Section 3.2).  Operations return their cycle cost. *)
+
+type t
+
+val create : Hw.Costs.t -> cores:int -> t
+
+val add : t -> core:int -> key:Pagekey.t -> frame:int -> int64
+(** [add t ~core ~key ~frame] records [key] (backed by cache frame
+    [frame]) as dirty in [core]'s tree.  Idempotent per (core, key). *)
+
+val remove : t -> core:int -> key:Pagekey.t -> int64
+(** [remove t ~core ~key] forgets the entry (page cleaned or dropped). *)
+
+val total : t -> int
+
+val drain_sorted : t -> ?file:int -> ?limit:int -> unit -> (Pagekey.t * int) list * int64
+(** [drain_sorted t ()] removes dirty entries from {e all} core trees and
+    returns them merged in ascending key order, with the traversal cost.
+    [file] restricts to one file's pages; [limit] caps how many entries
+    are taken (smallest keys first). *)
+
+val mem : t -> key:Pagekey.t -> core:int -> bool

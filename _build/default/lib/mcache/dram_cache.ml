@@ -1,0 +1,585 @@
+let psz = Hw.Defs.page_size
+
+type config = {
+  frames : int;
+  max_frames : int;
+  evict_batch : int;
+  core_queue_limit : int;
+  move_batch : int;
+  writeback_merge : int;
+  ipi_mode : Hw.Ipi.send_mode;
+  readahead : int;
+}
+
+let default_config ~frames =
+  {
+    frames;
+    max_frames = frames;
+    (* the paper evicts 512-page batches from multi-GB caches; keep the
+       batch a small fraction of the (scaled) cache so victim quality
+       holds *)
+    evict_batch = max 16 (frames / 64);
+    core_queue_limit = 512;
+    move_batch = 256;
+    writeback_merge = 64;
+    ipi_mode = Hw.Ipi.Vmexit_send;
+    readahead = 0;
+  }
+
+type frame = {
+  fno : int;
+  data : Bytes.t;
+  mutable key : int; (* -1 when free *)
+  mutable vpn : int; (* -1 when unmapped *)
+  mutable dirty : bool;
+  mutable dirty_core : int;
+  mutable retired : bool;
+}
+
+type backend = { access : Sdevice.Access.t; translate : int -> int option }
+
+type t = {
+  costs : Hw.Costs.t;
+  machine : Hw.Machine.t;
+  pt : Hw.Page_table.t;
+  cfg : config;
+  arr : frame array;
+  index : frame Dstruct.Lockfree_hash.t;
+  fl : Freelist.t;
+  lru : Dstruct.Clock_lru.t;
+  dirty : Dirty_set.t;
+  files : (int, backend) Hashtbl.t;
+  inflight : (int, unit Sim.Sync.Ivar.t) Hashtbl.t;
+  mutable evicting : bool;
+  evict_waiters : Sim.Sync.Waitq.t;
+  wb_waitq : Sim.Sync.Waitq.t;
+  mutable wb_daemon : (int * int) option; (* (hi, lo) watermarks when active *)
+  mutable shoot_cores : int list;
+  mutable seeded : int;
+  mutable retired_frames : int list;
+  mutable s_fault_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_wb_ios : int;
+  mutable s_wb_pages : int;
+  mutable s_read_ios : int;
+  mutable s_read_pages : int;
+  mutable s_inflight_waits : int;
+}
+
+let create ~costs ~machine ~page_table cfg =
+  if cfg.frames <= 0 || cfg.max_frames < cfg.frames then
+    invalid_arg "Dram_cache.create: bad frame counts";
+  let topo = Hw.Machine.topology machine in
+  let t =
+    {
+      costs;
+      machine;
+      pt = page_table;
+      cfg;
+      arr =
+        Array.init cfg.max_frames (fun i ->
+            {
+              fno = i;
+              data = Bytes.create psz;
+              key = -1;
+              vpn = -1;
+              dirty = false;
+              dirty_core = 0;
+              retired = false;
+            });
+      index = Dstruct.Lockfree_hash.create ();
+      fl =
+        Freelist.create costs topo ~core_queue_limit:cfg.core_queue_limit
+          ~move_batch:cfg.move_batch ();
+      lru = Dstruct.Clock_lru.create ~nframes:cfg.max_frames;
+      dirty = Dirty_set.create costs ~cores:topo.Hw.Topology.cores;
+      files = Hashtbl.create 16;
+      inflight = Hashtbl.create 64;
+      evicting = false;
+      evict_waiters = Sim.Sync.Waitq.create ();
+      wb_waitq = Sim.Sync.Waitq.create ();
+      wb_daemon = None;
+      shoot_cores = [];
+      seeded = 0;
+      retired_frames = [];
+      s_fault_hits = 0;
+      s_misses = 0;
+      s_evictions = 0;
+      s_wb_ios = 0;
+      s_wb_pages = 0;
+      s_read_ios = 0;
+      s_read_pages = 0;
+      s_inflight_waits = 0;
+    }
+  in
+  let nodes = topo.Hw.Topology.nodes in
+  for i = 0 to cfg.frames - 1 do
+    Freelist.add_frame t.fl ~node:(i mod nodes) i
+  done;
+  t.seeded <- cfg.frames;
+  t
+
+let config t = t.cfg
+let frames_total t = t.seeded - List.length t.retired_frames
+let free_frames t = Freelist.free_count t.fl
+
+let register_file t ~file_id ~access ~translate =
+  Hashtbl.replace t.files file_id { access; translate }
+
+let backend_of t file_id =
+  match Hashtbl.find_opt t.files file_id with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Dram_cache: unregistered file %d" file_id)
+
+let set_shoot_cores t cores = t.shoot_cores <- cores
+
+(* Account the local invalidations and the batched shootdown for [vpns];
+   mutates every target TLB immediately (pure — no suspension). *)
+let invalidate_mappings t ~core ~vpns buf =
+  match vpns with
+  | [] -> ()
+  | _ :: _ ->
+      let c = t.costs in
+      let own = (Hw.Machine.core t.machine core).Hw.Machine.tlb in
+      let local =
+        if List.length vpns > 33 then Hw.Tlb.flush own c
+        else
+          List.fold_left
+            (fun acc vpn -> Int64.add acc (Hw.Tlb.invalidate_local own c ~vpn))
+            0L vpns
+      in
+      Sim.Costbuf.add buf "tlb" local;
+      Sim.Costbuf.add buf "tlb"
+        (Hw.Ipi.shootdown t.machine c ~mode:t.cfg.ipi_mode ~src:core
+           ~targets:t.shoot_cores ~vpns)
+
+(* Write [frames] back to their devices in ascending key order, merging
+   runs of device-contiguous pages into single I/Os.  Suspends. *)
+let writeback_frames t frames buf =
+  let c = t.costs in
+  let items = List.sort (fun (a : frame) b -> compare a.key b.key) frames in
+  let flush_run file dev_start run =
+    match run with
+    | [] -> ()
+    | _ :: _ ->
+        let frames_in_order = List.rev run in
+        let count = List.length frames_in_order in
+        let scratch = Bytes.create (count * psz) in
+        List.iteri
+          (fun i (fr : frame) -> Bytes.blit fr.data 0 scratch (i * psz) psz)
+          frames_in_order;
+        let backend = backend_of t file in
+        Sdevice.Access.write_pages backend.access ~page:dev_start ~count
+          ~src:scratch;
+        t.s_wb_ios <- t.s_wb_ios + 1;
+        t.s_wb_pages <- t.s_wb_pages + count
+  in
+  let state = ref None in
+  let runs = ref [] in
+  List.iter
+    (fun (fr : frame) ->
+      let file = Pagekey.file_of fr.key and page = Pagekey.page_of fr.key in
+      let backend = backend_of t file in
+      match backend.translate page with
+      | None -> ()
+      | Some dev ->
+          Sim.Costbuf.add buf "writeback" c.radix_lookup;
+          (match !state with
+          | Some (f, start, next, run)
+            when f = file && dev = next && next - start < t.cfg.writeback_merge ->
+              state := Some (f, start, next + 1, fr :: run)
+          | Some prev ->
+              runs := prev :: !runs;
+              state := Some (file, dev, dev + 1, [ fr ])
+          | None -> state := Some (file, dev, dev + 1, [ fr ])))
+    items;
+  (match !state with Some last -> runs := last :: !runs | None -> ());
+  (* Issue the I/Os after run computation (the blits snapshot the data). *)
+  List.iter (fun (f, start, _next, run) -> flush_run f start run) (List.rev !runs)
+
+(* Synchronously evict a batch of frames (Section 3.2).  The index
+   removal, in-flight guards, PTE teardown and shootdown all happen
+   before the first suspension point, so concurrent faults observe a
+   consistent cache. *)
+let evict_batch_now t ~core buf =
+  let victims = Dstruct.Clock_lru.evict_candidates t.lru t.cfg.evict_batch in
+  match victims with
+  | [] -> false
+  | _ :: _ ->
+      let frames = List.map (fun fno -> t.arr.(fno)) victims in
+      let c = t.costs in
+      let dirty_frames = List.filter (fun (fr : frame) -> fr.dirty) frames in
+      (* 1. Drop index entries; guard dirty victims with in-flight markers
+         so concurrent faults wait for the write-back. *)
+      List.iter
+        (fun (fr : frame) ->
+          ignore (Dstruct.Lockfree_hash.remove t.index fr.key);
+          Sim.Costbuf.add buf "evict" c.hash_update)
+        frames;
+      let guards =
+        List.map
+          (fun (fr : frame) ->
+            let iv = Sim.Sync.Ivar.create () in
+            Hashtbl.replace t.inflight fr.key iv;
+            (fr, iv))
+          dirty_frames
+      in
+      List.iter
+        (fun (fr : frame) ->
+          Sim.Costbuf.add buf "evict"
+            (Dirty_set.remove t.dirty ~core:fr.dirty_core ~key:fr.key);
+          fr.dirty <- false)
+        dirty_frames;
+      (* 2. Tear down translations and invalidate TLBs (batched). *)
+      let vpns =
+        List.filter_map
+          (fun (fr : frame) ->
+            if fr.vpn >= 0 then begin
+              ignore (Hw.Page_table.unmap t.pt ~vpn:fr.vpn);
+              Sim.Costbuf.add buf "evict" c.pte_update;
+              let v = fr.vpn in
+              fr.vpn <- -1;
+              Some v
+            end
+            else None)
+          frames
+      in
+      invalidate_mappings t ~core ~vpns buf;
+      (* 3. Merged, offset-sorted write-back (suspends). *)
+      writeback_frames t dirty_frames buf;
+      List.iter
+        (fun ((fr : frame), iv) ->
+          Hashtbl.remove t.inflight fr.key;
+          Sim.Sync.Ivar.fill iv ())
+        guards;
+      (* 4. Recycle. *)
+      List.iter
+        (fun (fr : frame) ->
+          fr.key <- -1;
+          Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core fr.fno))
+        frames;
+      t.s_evictions <- t.s_evictions + List.length frames;
+      true
+
+(* Concurrent faulting threads coalesce on one evictor: a stampede of
+   per-thread batch evictions would wipe the whole cache under pressure. *)
+let rec alloc_frame t ~core buf attempts =
+  if attempts > 1000 then failwith "Dram_cache: cannot reclaim frames (thrash)";
+  let f, acost = Freelist.alloc t.fl ~core in
+  Sim.Costbuf.add buf "alloc" acost;
+  match f with
+  | Some fno -> t.arr.(fno)
+  | None ->
+      if t.evicting then Sim.Sync.Waitq.wait t.evict_waiters
+      else begin
+        t.evicting <- true;
+        let progressed =
+          match evict_batch_now t ~core buf with
+          | ok -> ok
+          | exception e ->
+              t.evicting <- false;
+              ignore (Sim.Sync.Waitq.broadcast t.evict_waiters);
+              raise e
+        in
+        t.evicting <- false;
+        ignore (Sim.Sync.Waitq.broadcast t.evict_waiters);
+        if not progressed then Sim.Engine.idle_wait 2000L
+      end;
+      alloc_frame t ~core buf (attempts + 1)
+
+(* Fetch [key]'s page into [frame], plus configured readahead, issuing the
+   largest device-contiguous read possible.  Suspends for the I/O. *)
+let read_in t ~core ~key ~readahead (frame : frame) buf =
+  let c = t.costs in
+  let file = Pagekey.file_of key and page = Pagekey.page_of key in
+  let backend = backend_of t file in
+  let dev =
+    match backend.translate page with
+    | Some d -> d
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Dram_cache: fault beyond end of file %d page %d" file
+             page)
+  in
+  Sim.Costbuf.add buf "map" c.radix_lookup;
+  let extra = ref [] in
+  let n = ref 1 in
+  let continue_ = ref (readahead > 0) in
+  while !continue_ && !n <= readahead do
+    let p = page + !n in
+    let k = Pagekey.make ~file ~page:p in
+    match backend.translate p with
+    | Some d
+      when d = dev + !n
+           && (not (Dstruct.Lockfree_hash.mem t.index k))
+           && not (Hashtbl.mem t.inflight k) -> (
+        let fopt, acost = Freelist.alloc t.fl ~core in
+        Sim.Costbuf.add buf "alloc" acost;
+        match fopt with
+        | Some fno ->
+            extra := (k, t.arr.(fno)) :: !extra;
+            incr n
+        | None -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  let extra = List.rev !extra in
+  let count = 1 + List.length extra in
+  let guards =
+    List.map
+      (fun (k, fr) ->
+        let iv = Sim.Sync.Ivar.create () in
+        Hashtbl.replace t.inflight k iv;
+        (k, fr, iv))
+      extra
+  in
+  let scratch = if count = 1 then frame.data else Bytes.create (count * psz) in
+  Sdevice.Access.read_pages backend.access ~page:dev ~count ~dst:scratch;
+  t.s_read_ios <- t.s_read_ios + 1;
+  t.s_read_pages <- t.s_read_pages + count;
+  if count > 1 then Bytes.blit scratch 0 frame.data 0 psz;
+  frame.key <- key;
+  frame.dirty <- false;
+  ignore (Dstruct.Lockfree_hash.insert t.index key frame);
+  Sim.Costbuf.add buf "index" c.hash_update;
+  Dstruct.Clock_lru.set_active t.lru frame.fno true;
+  Dstruct.Clock_lru.touch t.lru frame.fno;
+  List.iteri
+    (fun i (k, (fr : frame), iv) ->
+      Bytes.blit scratch ((i + 1) * psz) fr.data 0 psz;
+      fr.key <- k;
+      fr.dirty <- false;
+      fr.vpn <- -1;
+      ignore (Dstruct.Lockfree_hash.insert t.index k fr);
+      Sim.Costbuf.add buf "index" c.hash_update;
+      Dstruct.Clock_lru.set_active t.lru fr.fno true;
+      Hashtbl.remove t.inflight k;
+      Sim.Sync.Ivar.fill iv ())
+    guards
+
+let fault t ?readahead ~core ~key ~vpn ~write () =
+  let c = t.costs in
+  let readahead = match readahead with Some r -> r | None -> t.cfg.readahead in
+  let buf = Sim.Costbuf.create () in
+  Sim.Costbuf.add buf "index" c.hash_lookup;
+  let rec get_frame () =
+    match Dstruct.Lockfree_hash.find t.index key with
+    | Some frame ->
+        t.s_fault_hits <- t.s_fault_hits + 1;
+        frame
+    | None -> (
+        match Hashtbl.find_opt t.inflight key with
+        | Some iv ->
+            t.s_inflight_waits <- t.s_inflight_waits + 1;
+            Sim.Sync.Ivar.read iv;
+            Sim.Costbuf.add buf "index" c.hash_lookup;
+            get_frame ()
+        | None ->
+            let iv = Sim.Sync.Ivar.create () in
+            Hashtbl.replace t.inflight key iv;
+            let frame = alloc_frame t ~core buf 0 in
+            read_in t ~core ~key ~readahead frame buf;
+            Hashtbl.remove t.inflight key;
+            Sim.Sync.Ivar.fill iv ();
+            t.s_misses <- t.s_misses + 1;
+            frame)
+  in
+  let frame = get_frame () in
+  (* Read faults map read-only so the first write faults again and marks
+     the page dirty (Section 3.2). *)
+  frame.vpn <- vpn;
+  Hw.Page_table.map t.pt ~vpn ~pfn:frame.fno ~writable:write;
+  Sim.Costbuf.add buf "map" c.pte_update;
+  if write && not frame.dirty then begin
+    frame.dirty <- true;
+    frame.dirty_core <- core;
+    Sim.Costbuf.add buf "map" (Dirty_set.add t.dirty ~core ~key ~frame:frame.fno);
+    match t.wb_daemon with
+    | Some (hi, _) when Dirty_set.total t.dirty > hi ->
+        ignore (Sim.Sync.Waitq.signal t.wb_waitq)
+    | _ -> ()
+  end;
+  Dstruct.Clock_lru.touch t.lru frame.fno;
+  Sim.Costbuf.add buf "map" c.lru_update;
+  Sim.Costbuf.charge buf
+
+let pfn_data t pfn = t.arr.(pfn).data
+
+let forget_mapping t ~pfn =
+  let fr = t.arr.(pfn) in
+  fr.vpn <- -1
+
+let key_of_pfn t pfn =
+  let fr = t.arr.(pfn) in
+  if fr.key >= 0 then Some fr.key else None
+
+let is_resident t ~key = Dstruct.Lockfree_hash.mem t.index key
+
+(* Write back dirty pages (all, or the [limit] lowest-offset ones),
+   write-protecting their PTEs so further stores re-mark them dirty. *)
+let clean t ~core ?file ?limit () =
+  let c = t.costs in
+  let buf = Sim.Costbuf.create () in
+  let entries, dcost = Dirty_set.drain_sorted t.dirty ?file ?limit () in
+  Sim.Costbuf.add buf "writeback" dcost;
+  let frames =
+    List.filter_map
+      (fun (key, fno) ->
+        let fr = t.arr.(fno) in
+        if fr.key = key && fr.dirty then Some fr else None)
+      entries
+  in
+  let vpns =
+    List.filter_map
+      (fun (fr : frame) ->
+        if fr.vpn >= 0 then begin
+          (try Hw.Page_table.set_writable t.pt ~vpn:fr.vpn false
+           with Not_found -> ());
+          Sim.Costbuf.add buf "writeback" c.pte_update;
+          Some fr.vpn
+        end
+        else None)
+      frames
+  in
+  invalidate_mappings t ~core ~vpns buf;
+  List.iter (fun (fr : frame) -> fr.dirty <- false) frames;
+  writeback_frames t frames buf;
+  Sim.Costbuf.charge buf
+
+let msync t ~core ?file () = clean t ~core ?file ()
+
+(* Background cleaner (the lazy write-back strategy of Section 7.2): when
+   the dirty-page count crosses [hi], a daemon fiber drains the per-core
+   dirty trees down to [lo] in sorted, merged batches, so foreground
+   evictions mostly find clean victims. *)
+let spawn_writeback_daemon t ~eng ?(hi = 256) ?(lo = 64) ?(core = 0) () =
+  if t.wb_daemon <> None then invalid_arg "Dram_cache: daemon already running";
+  t.wb_daemon <- Some (hi, lo);
+  ignore
+    (Sim.Engine.spawn eng ~name:"aquila-flusher" ~core ~daemon:true (fun () ->
+         let continue_ = ref true in
+         while !continue_ do
+           Sim.Sync.Waitq.wait t.wb_waitq;
+           (match t.wb_daemon with
+           | None -> continue_ := false
+           | Some (_, lo) ->
+               while Dirty_set.total t.dirty > lo do
+                 clean t ~core ~limit:64 ()
+               done)
+         done))
+
+let stop_writeback_daemon t =
+  t.wb_daemon <- None;
+  ignore (Sim.Sync.Waitq.signal t.wb_waitq)
+
+let drop_file t ~core ~file_id =
+  let c = t.costs in
+  let buf = Sim.Costbuf.create () in
+  let victims = ref [] in
+  Dstruct.Lockfree_hash.iter
+    (fun key (fr : frame) ->
+      if Pagekey.file_of key = file_id then victims := fr :: !victims)
+    t.index;
+  let frames = !victims in
+  let dirty_frames = List.filter (fun (fr : frame) -> fr.dirty) frames in
+  List.iter
+    (fun (fr : frame) ->
+      ignore (Dstruct.Lockfree_hash.remove t.index fr.key);
+      Sim.Costbuf.add buf "evict" c.hash_update;
+      Dstruct.Clock_lru.set_active t.lru fr.fno false)
+    frames;
+  List.iter
+    (fun (fr : frame) ->
+      Sim.Costbuf.add buf "evict"
+        (Dirty_set.remove t.dirty ~core:fr.dirty_core ~key:fr.key);
+      fr.dirty <- false)
+    dirty_frames;
+  let vpns =
+    List.filter_map
+      (fun (fr : frame) ->
+        if fr.vpn >= 0 then begin
+          ignore (Hw.Page_table.unmap t.pt ~vpn:fr.vpn);
+          Sim.Costbuf.add buf "evict" c.pte_update;
+          let v = fr.vpn in
+          fr.vpn <- -1;
+          Some v
+        end
+        else None)
+      frames
+  in
+  invalidate_mappings t ~core ~vpns buf;
+  writeback_frames t dirty_frames buf;
+  List.iter
+    (fun (fr : frame) ->
+      fr.key <- -1;
+      Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core fr.fno))
+    frames;
+  Sim.Costbuf.charge buf
+
+(* Failure injection: power loss.  Volatile state — every cached frame,
+   dirty or not, and all translations — vanishes without write-back.  The
+   backing devices keep only what reached them. *)
+let crash t =
+  Array.iter
+    (fun (fr : frame) ->
+      if fr.key >= 0 then begin
+        if fr.vpn >= 0 then ignore (Hw.Page_table.unmap t.pt ~vpn:fr.vpn);
+        ignore (Dstruct.Lockfree_hash.remove t.index fr.key);
+        if fr.dirty then
+          ignore (Dirty_set.remove t.dirty ~core:fr.dirty_core ~key:fr.key);
+        Dstruct.Clock_lru.set_active t.lru fr.fno false;
+        fr.key <- -1;
+        fr.vpn <- -1;
+        fr.dirty <- false;
+        let topo = Hw.Machine.topology t.machine in
+        Freelist.add_frame t.fl ~node:(fr.fno mod topo.Hw.Topology.nodes) fr.fno
+      end)
+    t.arr;
+  Hashtbl.reset t.inflight
+
+let grow t ~frames =
+  let topo = Hw.Machine.topology t.machine in
+  let nodes = topo.Hw.Topology.nodes in
+  let added = ref 0 in
+  while
+    !added < frames && (t.retired_frames <> [] || t.seeded < t.cfg.max_frames)
+  do
+    (match t.retired_frames with
+    | fno :: rest ->
+        t.retired_frames <- rest;
+        t.arr.(fno).retired <- false;
+        Freelist.add_frame t.fl ~node:(fno mod nodes) fno
+    | [] ->
+        let fno = t.seeded in
+        t.seeded <- t.seeded + 1;
+        Freelist.add_frame t.fl ~node:(fno mod nodes) fno);
+    incr added
+  done;
+  !added
+
+let shrink t ~frames =
+  let retired = ref 0 in
+  let attempts = ref 0 in
+  while !retired < frames && !attempts < 1000 do
+    incr attempts;
+    match Freelist.steal_any t.fl with
+    | Some fno ->
+        t.arr.(fno).retired <- true;
+        t.retired_frames <- fno :: t.retired_frames;
+        incr retired
+    | None ->
+        let buf = Sim.Costbuf.create () in
+        if not (evict_batch_now t ~core:0 buf) then attempts := 1000;
+        Sim.Costbuf.charge buf
+  done;
+  !retired
+
+let fault_hits t = t.s_fault_hits
+let misses t = t.s_misses
+let evictions t = t.s_evictions
+let writeback_ios t = t.s_wb_ios
+let writeback_pages t = t.s_wb_pages
+let read_ios t = t.s_read_ios
+let read_pages t = t.s_read_pages
+let inflight_waits t = t.s_inflight_waits
+let dirty_pages t = Dirty_set.total t.dirty

@@ -1,0 +1,133 @@
+(** Aquila's scalable DRAM I/O cache (Section 3.2, Figure 4).
+
+    The cache holds 4 KiB frames of file data, indexed by a lock-free hash
+    table on {!Pagekey.t}.  Misses allocate frames from the two-level
+    {!Freelist}; when it runs dry the faulting thread synchronously evicts
+    a batch of frames chosen by CLOCK (an LRU approximation updated on
+    faults), writing dirty victims back in ascending-offset merged I/Os
+    and invalidating the victims' mappings with one batched TLB shootdown.
+    Dirty pages live in per-core red-black trees ({!Dirty_set}), never in
+    the hash table's critical path.
+
+    The cache owns the process page table entries for cached pages, so the
+    same component serves Aquila (non-root ring 0 costs) and Kreon's
+    [kmmap] baseline (ring 0 kernel costs) — only the configured costs and
+    access methods differ.
+
+    Cost convention: non-blocking software work is {e returned} as cycles
+    for the caller to charge in one batch; blocking work (device I/O,
+    waiting on an in-flight fault) is charged inside. *)
+
+type config = {
+  frames : int;  (** initial cache size in frames *)
+  max_frames : int;  (** capacity ceiling for dynamic resizing *)
+  evict_batch : int;  (** frames reclaimed per synchronous eviction *)
+  core_queue_limit : int;  (** per-core freelist cap (Section 3.2) *)
+  move_batch : int;  (** freelist level-to-level move batch *)
+  writeback_merge : int;  (** max pages merged into one write I/O *)
+  ipi_mode : Hw.Ipi.send_mode;  (** how shootdown IPIs are sent *)
+  readahead : int;  (** pages prefetched after a missing page *)
+}
+
+val default_config : frames:int -> config
+(** Paper-flavoured defaults scaled to the simulation (see DESIGN.md §2):
+    eviction batch = frames/64 (min 16), core queues 512, move batch 256,
+    merge 64, vmexit-send IPIs, no readahead. *)
+
+type t
+
+val create :
+  costs:Hw.Costs.t ->
+  machine:Hw.Machine.t ->
+  page_table:Hw.Page_table.t ->
+  config ->
+  t
+
+val config : t -> config
+val frames_total : t -> int
+val free_frames : t -> int
+
+val register_file :
+  t -> file_id:int -> access:Sdevice.Access.t -> translate:(int -> int option) -> unit
+(** [register_file t ~file_id ~access ~translate] teaches the cache how to
+    reach file [file_id]'s pages: [translate] maps a file page to a device
+    page ([None] past end-of-file) and [access] moves the data. *)
+
+val set_shoot_cores : t -> int list -> unit
+(** Cores running threads of this process — the TLB shootdown targets. *)
+
+val fault :
+  t -> ?readahead:int -> core:int -> key:Pagekey.t -> vpn:int -> write:bool -> unit -> unit
+(** [fault t ~core ~key ~vpn ~write ()] services a page fault for virtual
+    page [vpn] backed by [key]: looks up the cache, allocates/evicts/reads
+    as needed, installs the PTE (read-only on read faults, for dirty
+    tracking), and marks dirty pages.  [readahead] overrides the
+    configured window (madvise-driven policy).  Must run inside a fiber;
+    charges
+    all software costs with per-label attribution ("index", "alloc",
+    "evict", "tlb", "map", "writeback" plus the I/O labels). *)
+
+val pfn_data : t -> int -> Bytes.t
+(** [pfn_data t pfn] is the data of cache frame [pfn] (the data plane:
+    loads/stores hit this after translation). *)
+
+val forget_mapping : t -> pfn:int -> unit
+(** [forget_mapping t ~pfn] clears the frame's reverse mapping after the
+    caller tore down the PTE itself (munmap of a region whose pages stay
+    cached). *)
+
+val key_of_pfn : t -> int -> Pagekey.t option
+(** The (file, page) currently held by a frame, if any. *)
+
+val is_resident : t -> key:Pagekey.t -> bool
+
+val msync : t -> core:int -> ?file:int -> unit -> unit
+(** [msync t ~core ()] writes back all dirty pages (optionally one file's)
+    in ascending offset order with merged I/Os, write-protects their PTEs
+    again (so future writes re-mark them dirty), and issues one batched
+    shootdown.  Charges its costs; must run inside a fiber. *)
+
+val spawn_writeback_daemon :
+  t -> eng:Sim.Engine.t -> ?hi:int -> ?lo:int -> ?core:int -> unit -> unit
+(** [spawn_writeback_daemon t ~eng ()] starts a background cleaner fiber:
+    when the dirty-page count exceeds [hi] (default 256) it writes pages
+    back — ascending offset, merged — until it falls to [lo] (default 64).
+    This is the lazy write-back strategy the paper contrasts with Linux's
+    aggressive flusher (Section 7.2); with it, foreground evictions mostly
+    find clean victims.  Raises [Invalid_argument] if already running. *)
+
+val stop_writeback_daemon : t -> unit
+(** Stops the daemon after its current round (idempotent). *)
+
+val drop_file : t -> core:int -> file_id:int -> unit
+(** [drop_file t ~core ~file_id] removes every cached page of the file
+    (munmap of the last mapping): write-back dirty pages, unmap, free.
+    Charges its costs; must run inside a fiber. *)
+
+val crash : t -> unit
+(** Failure injection: simulate power loss — drop every cached frame
+    (including dirty ones) and all translations without write-back.  Only
+    data that reached the devices (via {!msync} or write-back) survives. *)
+
+val grow : t -> frames:int -> int
+(** [grow t ~frames] adds up to [frames] frames (bounded by [max_frames]);
+    returns how many were added. *)
+
+val shrink : t -> frames:int -> int
+(** [shrink t ~frames] retires up to [frames] frames, evicting if needed.
+    Must run inside a fiber (eviction may write back).  Returns how many
+    were retired. *)
+
+(** {1 Statistics} *)
+
+val fault_hits : t -> int
+(** Faults satisfied by a page already in the cache. *)
+
+val misses : t -> int
+val evictions : t -> int
+val writeback_ios : t -> int
+val writeback_pages : t -> int
+val read_ios : t -> int
+val read_pages : t -> int
+val inflight_waits : t -> int
+val dirty_pages : t -> int

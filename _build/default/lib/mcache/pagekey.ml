@@ -1,0 +1,13 @@
+type t = int
+
+let page_bits = 35
+let page_mask = (1 lsl page_bits) - 1
+
+let make ~file ~page =
+  if file < 0 || file lsr 27 <> 0 then invalid_arg "Pagekey.make: file id out of range";
+  if page < 0 || page lsr page_bits <> 0 then invalid_arg "Pagekey.make: page out of range";
+  (file lsl page_bits) lor page
+
+let file_of k = k lsr page_bits
+let page_of k = k land page_mask
+let pp fmt k = Format.fprintf fmt "(file %d, page %d)" (file_of k) (page_of k)

@@ -1,0 +1,15 @@
+(** Compact (file, page) keys for cache indexes and dirty trees.
+
+    Keys order first by file id and then by page number, so an in-order
+    traversal of a dirty tree yields pages in ascending device-offset
+    order per file — the order write-back wants (Section 3.2). *)
+
+type t = int
+
+val make : file:int -> page:int -> t
+(** [make ~file ~page] packs the pair.  [file] must fit in 27 bits and
+    [page] in 35 bits. *)
+
+val file_of : t -> int
+val page_of : t -> int
+val pp : Format.formatter -> t -> unit

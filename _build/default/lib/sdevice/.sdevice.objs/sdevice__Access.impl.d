@@ -1,0 +1,1 @@
+lib/sdevice/access.ml: Block_dev Bytes Hw Int64 Pmem Sim

@@ -1,0 +1,1 @@
+lib/sdevice/access.mli: Block_dev Bytes Hw Pmem

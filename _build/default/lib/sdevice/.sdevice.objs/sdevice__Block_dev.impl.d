@@ -1,0 +1,1 @@
+lib/sdevice/block_dev.ml: Int64 Pagestore Sim

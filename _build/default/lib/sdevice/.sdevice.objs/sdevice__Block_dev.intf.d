@@ -1,0 +1,1 @@
+lib/sdevice/block_dev.mli: Bytes Pagestore

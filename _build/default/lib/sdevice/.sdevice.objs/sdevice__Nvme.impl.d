@@ -1,0 +1,1 @@
+lib/sdevice/nvme.ml: Block_dev Int64

@@ -1,0 +1,1 @@
+lib/sdevice/nvme.mli: Block_dev

@@ -1,0 +1,1 @@
+lib/sdevice/pagestore.ml: Bytes Hashtbl Hw Int64

@@ -1,0 +1,1 @@
+lib/sdevice/pagestore.mli: Bytes

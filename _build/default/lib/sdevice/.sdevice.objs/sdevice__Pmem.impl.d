@@ -1,0 +1,1 @@
+lib/sdevice/pmem.ml: Block_dev Hw Int64 Pagestore

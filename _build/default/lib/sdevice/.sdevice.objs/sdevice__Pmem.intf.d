@@ -1,0 +1,1 @@
+lib/sdevice/pmem.mli: Block_dev Bytes Hw Pagestore

@@ -1,0 +1,139 @@
+type entry = From_user | From_guest | In_kernel
+
+type t = {
+  aname : string;
+  do_read : page:int -> count:int -> dst:Bytes.t -> unit;
+  do_write : page:int -> count:int -> src:Bytes.t -> unit;
+}
+
+let psz = Hw.Defs.page_size
+let name t = t.aname
+
+let check ~count ~buf =
+  if count <= 0 then invalid_arg "Access: count must be positive";
+  if Bytes.length buf < count * psz then invalid_arg "Access: buffer too small"
+
+let entry_cost (c : Hw.Costs.t) = function
+  | From_user -> c.syscall
+  | From_guest -> c.vmcall_roundtrip
+  | In_kernel -> 0L
+
+let addr_of page = Int64.mul (Int64.of_int page) (Int64.of_int psz)
+
+let dax_pmem costs ?(simd = true) pmem =
+  let rw ~write ~page ~count buf =
+    let len = count * psz in
+    let cost =
+      if write then
+        Pmem.dax_write pmem costs ~simd ~addr:(addr_of page) ~src:buf ~src_off:0 ~len
+      else Pmem.dax_read pmem costs ~simd ~addr:(addr_of page) ~len ~dst:buf ~dst_off:0
+    in
+    Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_memcpy" cost
+  in
+  {
+    aname = (if simd then "DAX-pmem" else "DAX-pmem-scalar");
+    do_read = (fun ~page ~count ~dst -> rw ~write:false ~page ~count dst);
+    do_write = (fun ~page ~count ~src -> rw ~write:true ~page ~count src);
+  }
+
+let spdk_nvme (costs : Hw.Costs.t) dev =
+  (* SPDK submission/completion is a few hundred cycles of user-space
+     driver code; completion is polled so device time burns CPU. *)
+  let driver = 400L in
+  let submit () = Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_driver" driver in
+  ignore costs;
+  {
+    aname = "SPDK-NVMe";
+    do_read =
+      (fun ~page ~count ~dst ->
+        submit ();
+        Block_dev.read ~polling:true dev ~addr:(addr_of page) ~len:(count * psz)
+          ~dst ~dst_off:0);
+    do_write =
+      (fun ~page ~count ~src ->
+        submit ();
+        Block_dev.write ~polling:true dev ~addr:(addr_of page) ~src ~src_off:0
+          ~len:(count * psz));
+  }
+
+let host_block ~aname (costs : Hw.Costs.t) ~entry ~wakeup ?(bounce = false) dev =
+  let enter = entry_cost costs entry in
+  (* Syscall entries additionally pay the VFS direct-I/O machinery (file
+     position checks, iov setup, block mapping); the kernel fault path
+     reaches the block layer directly (readpage). *)
+  let vfs = match entry with In_kernel -> 0L | From_user | From_guest -> 5200L in
+  (* Direct I/O from another protection domain bounces through a kernel
+     buffer: one scalar page copy. *)
+  let bounce_cost =
+    match entry with
+    | In_kernel -> 0L
+    | From_user | From_guest -> if bounce then costs.memcpy_4k_scalar else 0L
+  in
+  let soft = Int64.add (Int64.add costs.kernel_block_layer vfs) bounce_cost in
+  let prologue () =
+    if Int64.compare enter 0L > 0 then
+      Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_syscall" enter;
+    Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_kernel" soft
+  in
+  let epilogue () =
+    if wakeup then
+      Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_kernel" costs.sched_wakeup
+  in
+  {
+    aname;
+    do_read =
+      (fun ~page ~count ~dst ->
+        prologue ();
+        Block_dev.read dev ~addr:(addr_of page) ~len:(count * psz) ~dst ~dst_off:0;
+        epilogue ());
+    do_write =
+      (fun ~page ~count ~src ->
+        prologue ();
+        Block_dev.write dev ~addr:(addr_of page) ~src ~src_off:0 ~len:(count * psz);
+        epilogue ());
+  }
+
+(* io_uring: one submission syscall covers a batch of SQEs; completions
+   are read from the shared ring without any kernel entry. *)
+let uring_batch = 16
+
+let uring_nvme (costs : Hw.Costs.t) ~entry dev =
+  let enter = entry_cost costs entry in
+  let sqe = 350L (* prepare SQE + ring bookkeeping *) in
+  let prologue () =
+    Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_syscall"
+      (Int64.div enter (Int64.of_int uring_batch));
+    Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_kernel"
+      (Int64.add sqe (Int64.div costs.kernel_block_layer 2L))
+  in
+  {
+    aname = "io_uring-NVMe";
+    do_read =
+      (fun ~page ~count ~dst ->
+        prologue ();
+        Block_dev.read dev ~addr:(addr_of page) ~len:(count * psz) ~dst ~dst_off:0);
+    do_write =
+      (fun ~page ~count ~src ->
+        prologue ();
+        Block_dev.write dev ~addr:(addr_of page) ~src ~src_off:0 ~len:(count * psz));
+  }
+
+let host_pmem costs ~entry pmem =
+  (* pmem completes synchronously in the submitting context: no interrupt,
+     no scheduler wakeup. *)
+  host_block ~aname:"HOST-pmem" costs ~entry ~wakeup:false ~bounce:true
+    (Pmem.block_dev pmem)
+
+let host_nvme costs ~entry dev =
+  host_block ~aname:"HOST-NVMe" costs ~entry ~wakeup:true dev
+
+let read_pages t ~page ~count ~dst =
+  check ~count ~buf:dst;
+  t.do_read ~page ~count ~dst
+
+let write_pages t ~page ~count ~src =
+  check ~count ~buf:src;
+  t.do_write ~page ~count ~src
+
+let read_page t ~page ~dst = read_pages t ~page ~count:1 ~dst
+let write_page t ~page ~src = write_pages t ~page ~count:1 ~src

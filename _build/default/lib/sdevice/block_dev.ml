@@ -1,0 +1,68 @@
+type t = {
+  dname : string;
+  dstore : Pagestore.t;
+  channels : Sim.Sync.Resource.t;
+  setup : int64;
+  per_byte : float;
+  cap : int64;
+  mutable nreads : int;
+  mutable nwrites : int;
+  mutable rbytes : int64;
+  mutable wbytes : int64;
+}
+
+let create ~name ~channels ~setup_cycles ~cycles_per_byte ~capacity_bytes () =
+  {
+    dname = name;
+    dstore = Pagestore.create ();
+    channels = Sim.Sync.Resource.create ~name ~capacity:channels ();
+    setup = setup_cycles;
+    per_byte = cycles_per_byte;
+    cap = capacity_bytes;
+    nreads = 0;
+    nwrites = 0;
+    rbytes = 0L;
+    wbytes = 0L;
+  }
+
+let name t = t.dname
+let store t = t.dstore
+let capacity_bytes t = t.cap
+
+let service_time t ~len =
+  Int64.add t.setup (Int64.of_float (float_of_int len *. t.per_byte))
+
+let check_range t addr len =
+  if Int64.compare addr 0L < 0 || len < 0
+     || Int64.compare (Int64.add addr (Int64.of_int len)) t.cap > 0
+  then invalid_arg (t.dname ^ ": I/O outside device capacity")
+
+let occupy t ~polling ~len =
+  Sim.Sync.Resource.acquire t.channels;
+  let service = service_time t ~len in
+  if polling then Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_device" service
+  else begin
+    Sim.Engine.idle_wait service;
+    Sim.Engine.label_add "io_device" service
+  end;
+  Sim.Sync.Resource.release t.channels
+
+let read ?(polling = false) t ~addr ~len ~dst ~dst_off =
+  check_range t addr len;
+  occupy t ~polling ~len;
+  Pagestore.read_bytes t.dstore ~addr ~len ~dst ~dst_off;
+  t.nreads <- t.nreads + 1;
+  t.rbytes <- Int64.add t.rbytes (Int64.of_int len)
+
+let write ?(polling = false) t ~addr ~src ~src_off ~len =
+  check_range t addr len;
+  occupy t ~polling ~len;
+  Pagestore.write_bytes t.dstore ~addr ~src ~src_off ~len;
+  t.nwrites <- t.nwrites + 1;
+  t.wbytes <- Int64.add t.wbytes (Int64.of_int len)
+
+let reads t = t.nreads
+let writes t = t.nwrites
+let bytes_read t = t.rbytes
+let bytes_written t = t.wbytes
+let queued_cycles t = Sim.Sync.Resource.queued_cycles t.channels

@@ -1,0 +1,44 @@
+(** Queueing model for block storage devices.
+
+    A device has a number of parallel channels (its internal queue/NAND
+    parallelism), a per-request setup latency, and a per-byte transfer
+    cost per channel.  Requests admit FIFO onto a free channel and occupy
+    it for [setup + len * per_byte] cycles, which yields the device's
+    latency, IOPS and bandwidth envelope simultaneously.
+
+    Time spent waiting for the device is charged to the calling fiber as
+    idle time by default, or as [Sys] CPU time when [polling] (SPDK-style
+    completion polling burns the CPU). *)
+
+type t
+
+val create :
+  name:string ->
+  channels:int ->
+  setup_cycles:int64 ->
+  cycles_per_byte:float ->
+  capacity_bytes:int64 ->
+  unit ->
+  t
+
+val name : t -> string
+val store : t -> Pagestore.t
+val capacity_bytes : t -> int64
+
+val service_time : t -> len:int -> int64
+(** [service_time t ~len] is the channel occupancy for one request,
+    excluding queueing. *)
+
+val read : ?polling:bool -> t -> addr:int64 -> len:int -> dst:Bytes.t -> dst_off:int -> unit
+(** [read t ~addr ~len ~dst ~dst_off] performs a blocking device read:
+    queues for a channel, waits the service time, then materializes the
+    data from the backing store.  Must run inside a fiber. *)
+
+val write : ?polling:bool -> t -> addr:int64 -> src:Bytes.t -> src_off:int -> len:int -> unit
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int64
+val bytes_written : t -> int64
+val queued_cycles : t -> int64
+(** Total cycles requests spent queueing behind busy channels. *)

@@ -1,0 +1,1 @@
+lib/sim/costbuf.ml: Engine Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Hashtbl Int64 Pqueue Printf Rng

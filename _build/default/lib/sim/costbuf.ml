@@ -1,0 +1,22 @@
+type t = { tbl : (string, int64) Hashtbl.t; mutable sum : int64 }
+
+let create () = { tbl = Hashtbl.create 8; sum = 0L }
+
+let add t label c =
+  if Int64.compare c 0L > 0 then begin
+    let cur = try Hashtbl.find t.tbl label with Not_found -> 0L in
+    Hashtbl.replace t.tbl label (Int64.add cur c);
+    t.sum <- Int64.add t.sum c
+  end
+
+let total t = t.sum
+
+let labels t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+
+let charge ?(cat = Engine.Sys) t =
+  if Int64.compare t.sum 0L > 0 then begin
+    Hashtbl.iter (fun label c -> Engine.label_add label c) t.tbl;
+    Engine.delay ~cat t.sum;
+    Hashtbl.reset t.tbl;
+    t.sum <- 0L
+  end

@@ -1,0 +1,151 @@
+type category = User | Sys
+
+type ctx = {
+  fid : int;
+  name : string;
+  mutable core : int;
+  daemon : bool;
+  mutable user : int64;
+  mutable sys : int64;
+  mutable idle : int64;
+  labels : (string, int64) Hashtbl.t;
+}
+
+type t = {
+  mutable now : int64;
+  mutable seq : int;
+  q : (unit -> unit) Pqueue.t;
+  mutable current : ctx option;
+  mutable live : int;
+  mutable next_fid : int;
+  mutable nevents : int;
+  engine_rng : Rng.t;
+}
+
+type _ Effect.t +=
+  | Delay : category * string option * int64 -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Timed_wait : int64 -> unit Effect.t
+  | Self : ctx Effect.t
+  | Now : int64 Effect.t
+
+let create ?(seed = 42) () =
+  {
+    now = 0L;
+    seq = 0;
+    q = Pqueue.create ();
+    current = None;
+    live = 0;
+    next_fid = 0;
+    nevents = 0;
+    engine_rng = Rng.create seed;
+  }
+
+let now t = t.now
+let rng t = t.engine_rng
+let events t = t.nevents
+let live_fibers t = t.live
+
+let schedule t ~at thunk =
+  let at = if Int64.compare at t.now < 0 then t.now else at in
+  t.seq <- t.seq + 1;
+  Pqueue.push t.q ~time:at ~seq:t.seq thunk
+
+let bump tbl label c =
+  match label with
+  | None -> ()
+  | Some l ->
+      let cur = try Hashtbl.find tbl l with Not_found -> 0L in
+      Hashtbl.replace tbl l (Int64.add cur c)
+
+(* Run [f] as a fiber under the engine's effect handler.  Suspension points
+   capture the continuation and schedule it back through the event queue. *)
+let run_fiber t ctx f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> if not ctx.daemon then t.live <- t.live - 1);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (cat, label, c) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let c = if Int64.compare c 0L < 0 then 0L else c in
+                  (match cat with
+                  | User -> ctx.user <- Int64.add ctx.user c
+                  | Sys -> ctx.sys <- Int64.add ctx.sys c);
+                  bump ctx.labels label c;
+                  schedule t ~at:(Int64.add t.now c) (fun () ->
+                      t.current <- Some ctx;
+                      continue k ()))
+          | Timed_wait c ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let c = if Int64.compare c 0L < 0 then 0L else c in
+                  ctx.idle <- Int64.add ctx.idle c;
+                  schedule t ~at:(Int64.add t.now c) (fun () ->
+                      t.current <- Some ctx;
+                      continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let t0 = t.now in
+                  let resumed = ref false in
+                  let resume () =
+                    if !resumed then
+                      invalid_arg
+                        (Printf.sprintf "fiber %s: resumed twice" ctx.name);
+                    resumed := true;
+                    schedule t ~at:t.now (fun () ->
+                        ctx.idle <- Int64.add ctx.idle (Int64.sub t.now t0);
+                        t.current <- Some ctx;
+                        continue k ())
+                  in
+                  register resume)
+          | Self -> Some (fun (k : (a, _) continuation) -> continue k ctx)
+          | Now -> Some (fun (k : (a, _) continuation) -> continue k t.now)
+          | _ -> None);
+    }
+
+let spawn t ?(name = "fiber") ?(core = 0) ?(daemon = false) f =
+  t.next_fid <- t.next_fid + 1;
+  let ctx =
+    {
+      fid = t.next_fid;
+      name;
+      core;
+      daemon;
+      user = 0L;
+      sys = 0L;
+      idle = 0L;
+      labels = Hashtbl.create 16;
+    }
+  in
+  if not daemon then t.live <- t.live + 1;
+  schedule t ~at:t.now (fun () ->
+      t.current <- Some ctx;
+      run_fiber t ctx f);
+  ctx
+
+let run t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Pqueue.pop t.q with
+    | None -> continue_ := false
+    | Some (time, _seq, thunk) ->
+        t.now <- time;
+        t.nevents <- t.nevents + 1;
+        thunk ()
+  done
+
+let delay ?(cat = User) ?label c = Effect.perform (Delay (cat, label, c))
+let idle_wait c = Effect.perform (Timed_wait c)
+let suspend register = Effect.perform (Suspend register)
+let now_f () = Effect.perform Now
+let self () = Effect.perform Self
+
+let label_add label c =
+  let ctx = self () in
+  bump ctx.labels (Some label) c

@@ -1,0 +1,69 @@
+type 'a entry = { time : int64; seq : int; v : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t e =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let narr = Array.make ncap e in
+    Array.blit t.arr 0 narr 0 t.len;
+    t.arr <- narr
+  end
+
+let push t ~time ~seq v =
+  let e = { time; seq; v } in
+  grow t e;
+  t.arr.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* sift up *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    less t.arr.(!i) t.arr.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = t.arr.(p) in
+    t.arr.(p) <- t.arr.(!i);
+    t.arr.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.len && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue_ := false
+        else begin
+          let tmp = t.arr.(!smallest) in
+          t.arr.(!smallest) <- t.arr.(!i);
+          t.arr.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.seq, top.v)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.arr.(0).time

@@ -1,0 +1,27 @@
+(** Binary min-heap priority queue keyed by [(time, sequence)] pairs.
+
+    Used by the discrete-event engine to order pending events.  Ties on
+    [time] are broken by the monotonically increasing sequence number, which
+    makes event ordering — and therefore every simulation — deterministic. *)
+
+type 'a t
+(** A mutable priority queue holding values of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val length : 'a t -> int
+(** [length q] is the number of queued elements. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [length q = 0]. *)
+
+val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+(** [push q ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+
+val pop : 'a t -> (int64 * int * 'a) option
+(** [pop q] removes and returns the element with the smallest
+    [(time, seq)] key, or [None] if the queue is empty. *)
+
+val peek_time : 'a t -> int64 option
+(** [peek_time q] is the key time of the next element without removing it. *)

@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = next64 t }
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  r mod bound
+
+let int64 t bound =
+  assert (Int64.compare bound 0L > 0);
+  let r = Int64.shift_right_logical (next64 t) 1 in
+  Int64.rem r bound
+
+let float t =
+  let r = Int64.shift_right_logical (next64 t) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next64 t) 1L = 1L

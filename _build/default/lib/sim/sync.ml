@@ -1,0 +1,155 @@
+module Waitq = struct
+  type t = { waiters : (unit -> unit) Queue.t }
+
+  let create () = { waiters = Queue.create () }
+
+  let wait t = Engine.suspend (fun resume -> Queue.add resume t.waiters)
+
+  let signal t =
+    match Queue.take_opt t.waiters with
+    | None -> false
+    | Some resume ->
+        resume ();
+        true
+
+  let broadcast t =
+    let n = Queue.length t.waiters in
+    for _ = 1 to n do
+      ignore (signal t)
+    done;
+    n
+
+  let waiting t = Queue.length t.waiters
+end
+
+module Mutex = struct
+  type t = {
+    mutable locked : bool;
+    waiters : (unit -> unit) Queue.t;
+    mutable contended : int64;
+    mutable acqs : int;
+    acquire_cost : int64;
+    mname : string;
+  }
+
+  let create ?(name = "mutex") ?(acquire_cost = 40L) () =
+    {
+      locked = false;
+      waiters = Queue.create ();
+      contended = 0L;
+      acqs = 0;
+      acquire_cost;
+      mname = name;
+    }
+
+  let lock ?(cat = Engine.Sys) t =
+    t.acqs <- t.acqs + 1;
+    Engine.delay ~cat t.acquire_cost;
+    if t.locked then begin
+      let t0 = Engine.now_f () in
+      Engine.suspend (fun resume -> Queue.add resume t.waiters);
+      (* Ownership was transferred to us by [unlock]. *)
+      t.contended <- Int64.add t.contended (Int64.sub (Engine.now_f ()) t0)
+    end
+    else t.locked <- true
+
+  let unlock t =
+    if not t.locked then invalid_arg (t.mname ^ ": unlock of unlocked mutex");
+    match Queue.take_opt t.waiters with
+    | Some resume -> resume () (* stays locked; waiter now owns it *)
+    | None -> t.locked <- false
+
+  let with_lock ?cat t f =
+    lock ?cat t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception e ->
+        unlock t;
+        raise e
+
+  let acquisitions t = t.acqs
+  let contended_cycles t = t.contended
+  let name t = t.mname
+end
+
+module Resource = struct
+  type t = {
+    capacity : int;
+    mutable used : int;
+    waiters : (unit -> unit) Queue.t;
+    mutable queued : int64;
+    mutable done_ : int;
+    rname : string;
+  }
+
+  let create ?(name = "resource") ~capacity () =
+    if capacity <= 0 then invalid_arg "Resource.create: capacity";
+    { capacity; used = 0; waiters = Queue.create (); queued = 0L; done_ = 0; rname = name }
+
+  let acquire t =
+    if t.used < t.capacity then t.used <- t.used + 1
+    else begin
+      let t0 = Engine.now_f () in
+      Engine.suspend (fun resume -> Queue.add resume t.waiters);
+      (* Slot was transferred to us by [release]. *)
+      t.queued <- Int64.add t.queued (Int64.sub (Engine.now_f ()) t0)
+    end
+
+  let release t =
+    if t.used <= 0 then invalid_arg (t.rname ^ ": release without acquire");
+    match Queue.take_opt t.waiters with
+    | Some resume -> resume () (* slot handed over; [used] unchanged *)
+    | None -> t.used <- t.used - 1
+
+  let use t ~service =
+    acquire t;
+    Engine.idle_wait service;
+    t.done_ <- t.done_ + 1;
+    release t
+
+  let in_use t = t.used
+  let queued_cycles t = t.queued
+  let completed t = t.done_
+end
+
+module Barrier = struct
+  type t = { parties : int; mutable arrived : int; q : Waitq.t }
+
+  let create ~parties =
+    if parties <= 0 then invalid_arg "Barrier.create";
+    { parties; arrived = 0; q = Waitq.create () }
+
+  let await t =
+    t.arrived <- t.arrived + 1;
+    if t.arrived >= t.parties then begin
+      t.arrived <- 0;
+      ignore (Waitq.broadcast t.q)
+    end
+    else Waitq.wait t.q
+
+  let waiting t = t.arrived
+end
+
+module Ivar = struct
+  type 'a t = { mutable v : 'a option; q : Waitq.t }
+
+  let create () = { v = None; q = Waitq.create () }
+
+  let fill t v =
+    match t.v with
+    | Some _ -> invalid_arg "Ivar.fill: already filled"
+    | None ->
+        t.v <- Some v;
+        ignore (Waitq.broadcast t.q)
+
+  let rec read t =
+    match t.v with
+    | Some v -> v
+    | None ->
+        Waitq.wait t.q;
+        read t
+
+  let is_filled t = t.v <> None
+end

@@ -1,0 +1,111 @@
+(** Synchronization primitives for simulated fibers.
+
+    All primitives are FIFO and deterministic.  Blocking time is charged to
+    the waiting fiber's idle counter by the engine, and lock contention is
+    additionally tracked per mutex so that experiments can report where
+    serialization happens (e.g. the Linux page-cache [tree_lock]). *)
+
+(** Condition-variable-style wait queue. *)
+module Waitq : sig
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> unit
+  (** [wait q] parks the calling fiber until a signal arrives. *)
+
+  val signal : t -> bool
+  (** [signal q] wakes the longest-waiting fiber.  Returns [false] if no
+      fiber was waiting. *)
+
+  val broadcast : t -> int
+  (** [broadcast q] wakes all waiting fibers, returning how many. *)
+
+  val waiting : t -> int
+  (** [waiting q] is the number of parked fibers. *)
+end
+
+(** FIFO mutex with contention accounting.
+
+    [acquire_cost] models the uncontended hardware cost of the lock
+    operation (an atomic RMW plus cache-line transfer) and is charged on
+    every [lock]. *)
+module Mutex : sig
+  type t
+
+  val create : ?name:string -> ?acquire_cost:int64 -> unit -> t
+  (** [create ()] is an unlocked mutex.  [acquire_cost] defaults to 40
+      cycles. *)
+
+  val lock : ?cat:Engine.category -> t -> unit
+  (** [lock m] acquires [m], blocking FIFO if held.  Charges
+      [acquire_cost] to [cat] (default [Sys]). *)
+
+  val unlock : t -> unit
+  (** [unlock m] releases [m], handing ownership to the next waiter if
+      any.  Raises [Invalid_argument] if [m] is not locked. *)
+
+  val with_lock : ?cat:Engine.category -> t -> (unit -> 'a) -> 'a
+
+  val acquisitions : t -> int
+  (** Total number of [lock] calls. *)
+
+  val contended_cycles : t -> int64
+  (** Total cycles fibers spent blocked waiting for this mutex. *)
+
+  val name : t -> string
+end
+
+(** Counted resource with FIFO admission — models device channels or queue
+    slots.  A fiber [use]s the resource for a given service time during
+    which one unit of capacity is held. *)
+module Resource : sig
+  type t
+
+  val create : ?name:string -> capacity:int -> unit -> t
+
+  val acquire : t -> unit
+  (** [acquire r] takes one capacity unit, blocking FIFO when exhausted. *)
+
+  val release : t -> unit
+
+  val use : t -> service:int64 -> unit
+  (** [use r ~service] acquires, waits [service] cycles of device time
+      (charged as idle to the calling fiber), and releases. *)
+
+  val in_use : t -> int
+  val queued_cycles : t -> int64
+  (** Total cycles spent queueing for admission (device queueing delay). *)
+
+  val completed : t -> int
+  (** Number of completed [use] operations. *)
+end
+
+(** Cyclic barrier: the last arriving fiber releases everyone. *)
+module Barrier : sig
+  type t
+
+  val create : parties:int -> t
+  (** [create ~parties] synchronizes groups of [parties] fibers. *)
+
+  val await : t -> unit
+  (** [await b] blocks until [parties] fibers have arrived, then all
+      proceed and the barrier resets for the next round. *)
+
+  val waiting : t -> int
+end
+
+(** Write-once synchronization cell (future/promise). *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] if already filled. *)
+
+  val read : 'a t -> 'a
+  (** [read i] blocks until [i] is filled, then returns the value. *)
+
+  val is_filled : 'a t -> bool
+end

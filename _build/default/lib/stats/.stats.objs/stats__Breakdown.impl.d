@@ -1,0 +1,1 @@
+lib/stats/breakdown.ml: Format Hashtbl Int64 List Sim String

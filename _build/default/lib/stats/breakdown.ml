@@ -1,0 +1,43 @@
+type t = {
+  tbl : (string, int64) Hashtbl.t;
+  mutable u : int64;
+  mutable s : int64;
+  mutable i : int64;
+}
+
+let create () = { tbl = Hashtbl.create 32; u = 0L; s = 0L; i = 0L }
+
+let absorb t (ctx : Sim.Engine.ctx) =
+  Hashtbl.iter
+    (fun k v ->
+      let cur = try Hashtbl.find t.tbl k with Not_found -> 0L in
+      Hashtbl.replace t.tbl k (Int64.add cur v))
+    ctx.Sim.Engine.labels;
+  t.u <- Int64.add t.u ctx.Sim.Engine.user;
+  t.s <- Int64.add t.s ctx.Sim.Engine.sys;
+  t.i <- Int64.add t.i ctx.Sim.Engine.idle
+
+let label t name = try Hashtbl.find t.tbl name with Not_found -> 0L
+
+let labels t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> Int64.compare b a)
+
+let group t ~prefixes =
+  Hashtbl.fold
+    (fun k v acc ->
+      if List.exists (fun p -> String.length k >= String.length p
+                               && String.sub k 0 (String.length p) = p) prefixes
+      then Int64.add acc v
+      else acc)
+    t.tbl 0L
+
+let user t = t.u
+let sys t = t.s
+let idle t = t.i
+
+let per_op total n = if n = 0 then 0. else Int64.to_float total /. float_of_int n
+
+let pp fmt t =
+  Format.fprintf fmt "user=%Ld sys=%Ld idle=%Ld@." t.u t.s t.i;
+  List.iter (fun (k, v) -> Format.fprintf fmt "  %-18s %Ld@." k v) (labels t)

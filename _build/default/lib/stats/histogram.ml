@@ -1,0 +1,86 @@
+(* Buckets: 64 magnitude groups x 32 sub-buckets; relative error ~ 1/32. *)
+let sub_bits = 5
+let sub = 1 lsl sub_bits
+
+type t = {
+  buckets : int array; (* 64 * sub *)
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : int64;
+  mutable vmax : int64;
+}
+
+let nbuckets = 64 * sub
+
+let create () =
+  { buckets = Array.make nbuckets 0; n = 0; sum = 0.; vmin = Int64.max_int; vmax = 0L }
+
+let index_of v =
+  let v = if Int64.compare v 0L < 0 then 0L else v in
+  if Int64.compare v (Int64.of_int sub) < 0 then Int64.to_int v
+  else begin
+    (* magnitude = position of highest set bit *)
+    let rec msb i acc = if Int64.compare i 1L <= 0 then acc else msb (Int64.shift_right_logical i 1) (acc + 1) in
+    let m = msb v 0 in
+    let shift = m - sub_bits in
+    let sub_idx = Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) (Int64.of_int (sub - 1))) in
+    let idx = ((m - sub_bits + 1) * sub) + sub_idx in
+    min idx (nbuckets - 1)
+  end
+
+(* Upper bound of bucket [idx]: inverse of [index_of]. *)
+let bound_of idx =
+  if idx < sub then Int64.of_int idx
+  else begin
+    let group = (idx / sub) - 1 in
+    let sub_idx = idx mod sub in
+    let m = group + sub_bits in
+    let base = Int64.shift_left 1L m in
+    Int64.add base (Int64.shift_left (Int64.of_int sub_idx) (m - sub_bits))
+  end
+
+let record t v =
+  let v = if Int64.compare v 0L < 0 then 0L else v in
+  let idx = index_of v in
+  t.buckets.(idx) <- t.buckets.(idx) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. Int64.to_float v;
+  if Int64.compare v t.vmin < 0 then t.vmin <- v;
+  if Int64.compare v t.vmax > 0 then t.vmax <- v
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+let max_value t = t.vmax
+let min_value t = if t.n = 0 then 0L else t.vmin
+
+let percentile t p =
+  if t.n = 0 then 0L
+  else begin
+    let target =
+      int_of_float (ceil (float_of_int t.n *. p /. 100.))
+      |> max 1 |> min t.n
+    in
+    let rec go idx acc =
+      if idx >= nbuckets then t.vmax
+      else
+        let acc = acc + t.buckets.(idx) in
+        if acc >= target then bound_of idx else go (idx + 1) acc
+    in
+    go 0 0
+  end
+
+let merge_into ~src ~dst =
+  for i = 0 to nbuckets - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if Int64.compare src.vmin dst.vmin < 0 then dst.vmin <- src.vmin;
+  if Int64.compare src.vmax dst.vmax > 0 then dst.vmax <- src.vmax
+
+let reset t =
+  Array.fill t.buckets 0 nbuckets 0;
+  t.n <- 0;
+  t.sum <- 0.;
+  t.vmin <- Int64.max_int;
+  t.vmax <- 0L

@@ -1,0 +1,26 @@
+(** Log-bucketed latency histogram (HdrHistogram-flavoured).
+
+    Records cycle (or nanosecond) values into buckets with bounded
+    relative error (~3 %), supporting the percentile reporting the paper
+    uses (average, p99, p99.9) without storing every sample. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int64 -> unit
+(** [record t v] adds sample [v] (clamped at 0). *)
+
+val count : t -> int
+val mean : t -> float
+val max_value : t -> int64
+val min_value : t -> int64
+
+val percentile : t -> float -> int64
+(** [percentile t p] is the smallest bucket upper bound covering fraction
+    [p] (in [\[0,100\]]) of samples; 0 when empty. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** [merge_into ~src ~dst] adds all of [src]'s buckets into [dst]. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/uspace/user_cache.ml: Array Bytes Dstruct Hashtbl Hw Int64 Linux_sim List Mcache Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/uspace/user_cache.mli: Bytes Linux_sim

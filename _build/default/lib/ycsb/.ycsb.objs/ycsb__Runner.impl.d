@@ -1,0 +1,1 @@
+lib/ycsb/runner.ml: Char Int64 Printf Sim Stats String Workload Zipfian

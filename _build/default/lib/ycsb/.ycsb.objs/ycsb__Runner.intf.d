@@ -1,0 +1,1 @@
+lib/ycsb/runner.mli: Sim Stats Workload

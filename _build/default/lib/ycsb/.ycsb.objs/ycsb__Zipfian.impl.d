@@ -1,0 +1,1 @@
+lib/ycsb/zipfian.ml: Float Sim

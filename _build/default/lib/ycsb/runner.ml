@@ -1,0 +1,95 @@
+type kv = {
+  kv_read : string -> string option;
+  kv_update : string -> string -> unit;
+  kv_insert : string -> string -> unit;
+  kv_scan : start:string -> n:int -> (string * string) list;
+  kv_rmw : string -> (string -> string) -> unit;
+}
+
+let key_of i = Printf.sprintf "user%016d" i
+
+let value_of rng n =
+  String.init n (fun _ -> Char.chr (32 + Sim.Rng.int rng 95))
+
+type result = {
+  ops : int;
+  elapsed_cycles : int64;
+  throughput_ops_s : float;
+  latency : Stats.Histogram.t;
+  thread_ctxs : Sim.Engine.ctx list;
+}
+
+type shared = { mutable record_count : int }
+
+let pick_op rng (w : Workload.t) =
+  let x = Sim.Rng.float rng in
+  if x < w.Workload.read then `Read
+  else if x < w.Workload.read +. w.Workload.update then `Update
+  else if x < w.Workload.read +. w.Workload.update +. w.Workload.insert then `Insert
+  else if x < w.Workload.read +. w.Workload.update +. w.Workload.insert +. w.Workload.scan
+  then `Scan
+  else `Rmw
+
+let run ~eng ~threads ~ops_per_thread ~workload ~record_count ~value_bytes
+    ?spread_cores ~kv () =
+  if threads <= 0 || ops_per_thread < 0 then invalid_arg "Runner.run";
+  let ncores = match spread_cores with Some n -> n | None -> min threads 32 in
+  let shared = { record_count } in
+  let hist = Stats.Histogram.create () in
+  let ctxs = ref [] in
+  let start = Sim.Engine.now eng in
+  for i = 0 to threads - 1 do
+    let rng = Sim.Rng.create ((i * 7919) + 17) in
+    let dist =
+      match workload.Workload.dist with
+      | Workload.Uniform -> Zipfian.uniform rng ~items:record_count
+      | Workload.Zipf -> Zipfian.zipfian rng ~items:record_count
+      | Workload.Latest -> Zipfian.latest rng ~items:record_count
+    in
+    let ctx =
+      Sim.Engine.spawn eng ~name:(Printf.sprintf "ycsb-%d" i)
+        ~core:(i mod ncores) (fun () ->
+          for _ = 1 to ops_per_thread do
+            Zipfian.set_items dist shared.record_count;
+            let t0 = Sim.Engine.now_f () in
+            (match pick_op rng workload with
+            | `Read -> ignore (kv.kv_read (key_of (Zipfian.next dist)))
+            | `Update -> kv.kv_update (key_of (Zipfian.next dist)) (value_of rng value_bytes)
+            | `Insert ->
+                let id = shared.record_count in
+                shared.record_count <- shared.record_count + 1;
+                kv.kv_insert (key_of id) (value_of rng value_bytes)
+            | `Scan ->
+                let len = 1 + Sim.Rng.int rng workload.Workload.max_scan_len in
+                ignore (kv.kv_scan ~start:(key_of (Zipfian.next dist)) ~n:len)
+            | `Rmw ->
+                kv.kv_rmw (key_of (Zipfian.next dist)) (fun old ->
+                    if String.length old = 0 then value_of rng value_bytes
+                    else String.sub old 0 (String.length old)));
+            let t1 = Sim.Engine.now_f () in
+            Stats.Histogram.record hist (Int64.sub t1 t0)
+          done)
+    in
+    ctxs := ctx :: !ctxs
+  done;
+  Sim.Engine.run eng;
+  let elapsed = Int64.sub (Sim.Engine.now eng) start in
+  let ops = threads * ops_per_thread in
+  let secs = Int64.to_float elapsed /. 2.4e9 in
+  {
+    ops;
+    elapsed_cycles = elapsed;
+    throughput_ops_s = (if secs > 0. then float_of_int ops /. secs else 0.);
+    latency = hist;
+    thread_ctxs = !ctxs;
+  }
+
+let load ~eng ~record_count ~value_bytes ~insert ?(finish = fun () -> ()) () =
+  let rng = Sim.Rng.create 4242 in
+  ignore
+    (Sim.Engine.spawn eng ~name:"ycsb-load" ~core:0 (fun () ->
+         for i = 0 to record_count - 1 do
+           insert (key_of i) (value_of rng value_bytes)
+         done;
+         finish ()));
+  Sim.Engine.run eng

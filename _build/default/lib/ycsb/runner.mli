@@ -1,0 +1,59 @@
+(** Multi-threaded YCSB benchmark runner.
+
+    Drives any key-value store implementing {!kv} with a {!Workload.t}
+    over a given number of simulated threads, recording per-operation
+    latencies and end-to-end throughput in virtual time — the measurement
+    loop every KV experiment in the paper uses (C++ YCSB [56]). *)
+
+type kv = {
+  kv_read : string -> string option;
+  kv_update : string -> string -> unit;
+  kv_insert : string -> string -> unit;
+  kv_scan : start:string -> n:int -> (string * string) list;
+  kv_rmw : string -> (string -> string) -> unit;
+}
+(** Store operations.  Implementations must be callable from any fiber. *)
+
+val key_of : int -> string
+(** [key_of i] is the YCSB key for index [i] ("user" + zero-padded id,
+    ~24 bytes, close to the paper's 30 B keys). *)
+
+val value_of : Sim.Rng.t -> int -> string
+(** [value_of rng n] is an [n]-byte pseudo-random value. *)
+
+type result = {
+  ops : int;
+  elapsed_cycles : int64;
+  throughput_ops_s : float;  (** at the simulated 2.4 GHz clock *)
+  latency : Stats.Histogram.t;  (** per-op latency in cycles *)
+  thread_ctxs : Sim.Engine.ctx list;  (** for cycle-breakdown reporting *)
+}
+
+val run :
+  eng:Sim.Engine.t ->
+  threads:int ->
+  ops_per_thread:int ->
+  workload:Workload.t ->
+  record_count:int ->
+  value_bytes:int ->
+  ?spread_cores:int ->
+  kv:kv ->
+  unit ->
+  result
+(** [run ~eng ...] spawns [threads] fibers pinned to distinct cores
+    ([spread_cores] defaults to the thread count, capped at 32), executes
+    the workload mix, runs the engine to completion and returns the
+    measurements.  The store must already be loaded with [record_count]
+    records keyed [key_of 0 .. key_of (record_count-1)]. *)
+
+val load :
+  eng:Sim.Engine.t ->
+  record_count:int ->
+  value_bytes:int ->
+  insert:(string -> string -> unit) ->
+  ?finish:(unit -> unit) ->
+  unit ->
+  unit
+(** [load ~eng ~record_count ~value_bytes ~insert ()] runs the YCSB load
+    phase in a fiber: inserts all records in key order, then calls
+    [finish] (e.g. flush/spill), then drains the engine. *)

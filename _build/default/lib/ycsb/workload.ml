@@ -1,0 +1,41 @@
+type distribution = Uniform | Zipf | Latest
+
+type t = {
+  name : string;
+  read : float;
+  update : float;
+  insert : float;
+  scan : float;
+  rmw : float;
+  dist : distribution;
+  max_scan_len : int;
+}
+
+let mk name ?(read = 0.) ?(update = 0.) ?(insert = 0.) ?(scan = 0.) ?(rmw = 0.)
+    ?(dist = Zipf) () =
+  let sum = read +. update +. insert +. scan +. rmw in
+  assert (abs_float (sum -. 1.0) < 1e-9);
+  { name; read; update; insert; scan; rmw; dist; max_scan_len = 100 }
+
+let a = mk "A" ~read:0.5 ~update:0.5 ()
+let b = mk "B" ~read:0.95 ~update:0.05 ()
+let c = mk "C" ~read:1.0 ()
+let d = mk "D" ~read:0.95 ~insert:0.05 ~dist:Latest ()
+let e = mk "E" ~scan:0.95 ~insert:0.05 ()
+let f = mk "F" ~read:0.5 ~rmw:0.5 ()
+let all = [ a; b; c; d; e; f ]
+let c_uniform = { (mk "C-uniform" ~read:1.0 ~dist:Uniform ()) with name = "C" }
+
+let by_name s =
+  match String.lowercase_ascii s with
+  | "a" -> Some a
+  | "b" -> Some b
+  | "c" -> Some c
+  | "d" -> Some d
+  | "e" -> Some e
+  | "f" -> Some f
+  | _ -> None
+
+let pp fmt t =
+  Format.fprintf fmt "%s (r=%.2f u=%.2f i=%.2f s=%.2f rmw=%.2f)" t.name t.read
+    t.update t.insert t.scan t.rmw

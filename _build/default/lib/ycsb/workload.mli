@@ -1,0 +1,36 @@
+(** YCSB workload definitions (Table 1 of the paper).
+
+    | A | 50 % reads, 50 % updates            |
+    | B | 95 % reads,  5 % updates            |
+    | C | 100 % reads                         |
+    | D | 95 % reads,  5 % inserts (latest)   |
+    | E | 95 % scans,  5 % inserts            |
+    | F | 50 % reads, 50 % read-modify-write  | *)
+
+type distribution = Uniform | Zipf | Latest
+
+type t = {
+  name : string;
+  read : float;
+  update : float;
+  insert : float;
+  scan : float;
+  rmw : float;
+  dist : distribution;
+  max_scan_len : int;
+}
+
+val a : t
+val b : t
+val c : t
+val d : t
+val e : t
+val f : t
+val all : t list
+
+val c_uniform : t
+(** Workload C with the uniform distribution, as used for the RocksDB
+    experiments in Section 6.1. *)
+
+val by_name : string -> t option
+val pp : Format.formatter -> t -> unit

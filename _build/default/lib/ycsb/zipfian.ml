@@ -1,0 +1,91 @@
+let theta = 0.99
+
+type kind = Uniform | Zipf of zstate | Latest of zstate
+
+and zstate = {
+  mutable zn : int; (* item count the constants were computed for *)
+  mutable zetan : float;
+  mutable alpha : float;
+  mutable eta : float;
+  zeta2 : float;
+  scramble : bool;
+}
+
+type t = { rng : Sim.Rng.t; mutable n : int; kind : kind }
+
+let zeta n =
+  let s = ref 0. in
+  for i = 1 to n do
+    s := !s +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !s
+
+let make_zstate n scramble =
+  let zetan = zeta n in
+  let zeta2 = zeta 2 in
+  let alpha = 1. /. (1. -. theta) in
+  let eta =
+    (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+    /. (1. -. (zeta2 /. zetan))
+  in
+  { zn = n; zetan; alpha; eta; zeta2; scramble }
+
+(* Incremental zeta update when the item count grows. *)
+let grow_zstate z n =
+  if n > z.zn then begin
+    let s = ref z.zetan in
+    for i = z.zn + 1 to n do
+      s := !s +. (1. /. Float.pow (float_of_int i) theta)
+    done;
+    z.zetan <- !s;
+    z.zn <- n;
+    z.eta <-
+      (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+      /. (1. -. (z.zeta2 /. z.zetan))
+  end
+
+let uniform rng ~items =
+  if items <= 0 then invalid_arg "Zipfian.uniform";
+  { rng; n = items; kind = Uniform }
+
+let zipfian rng ~items =
+  if items <= 0 then invalid_arg "Zipfian.zipfian";
+  { rng; n = items; kind = Zipf (make_zstate items true) }
+
+let latest rng ~items =
+  if items <= 0 then invalid_arg "Zipfian.latest";
+  { rng; n = items; kind = Latest (make_zstate items false) }
+
+let fnv_scramble x n =
+  let h = ref 0xcbf29ce4 in
+  let x = ref x in
+  for _ = 1 to 8 do
+    h := (!h lxor (!x land 0xff)) * 0x01000193 land max_int;
+    x := !x lsr 8
+  done;
+  !h mod n
+
+let draw_zipf t z =
+  grow_zstate z t.n;
+  let u = Sim.Rng.float t.rng in
+  let uz = u *. z.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 theta then 1
+  else
+    int_of_float
+      (float_of_int t.n *. Float.pow ((z.eta *. u) -. z.eta +. 1.) z.alpha)
+    |> min (t.n - 1)
+
+let next t =
+  match t.kind with
+  | Uniform -> Sim.Rng.int t.rng t.n
+  | Zipf z ->
+      let r = draw_zipf t z in
+      if z.scramble then fnv_scramble r t.n else r
+  | Latest z ->
+      let r = draw_zipf t z in
+      (* hottest = most recent *)
+      max 0 (t.n - 1 - r)
+
+let set_items t n = if n > t.n then t.n <- n
+let items t = t.n

@@ -1,0 +1,24 @@
+(** YCSB request-distribution generators.
+
+    Implements the standard YCSB generators: uniform, zipfian with the
+    Gray et al. rejection-free method (θ = 0.99) including the scrambled
+    variant that spreads hot keys across the keyspace, and "latest"
+    (zipfian over recency) for workload D. *)
+
+type t
+
+val uniform : Sim.Rng.t -> items:int -> t
+val zipfian : Sim.Rng.t -> items:int -> t
+(** Scrambled zipfian over [items] keys, θ = 0.99. *)
+
+val latest : Sim.Rng.t -> items:int -> t
+(** Skewed towards recently inserted items; see {!set_items}. *)
+
+val next : t -> int
+(** [next t] draws a key index in [\[0, items)]. *)
+
+val set_items : t -> int -> unit
+(** [set_items t n] grows the keyspace (after inserts).  For [latest],
+    new items become the hottest. *)
+
+val items : t -> int

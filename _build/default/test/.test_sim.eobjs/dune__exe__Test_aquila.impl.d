@@ -1,0 +1,1 @@
+test/test_aquila.ml: Alcotest Aquila Array Bytes Char Hw Int64 List Mcache Option Printf QCheck QCheck_alcotest Sdevice Sim

@@ -1,0 +1,1 @@
+test/test_blobstore.ml: Alcotest Blobstore Bytes Char Hashtbl Hw Int64 List Printf QCheck QCheck_alcotest Sdevice Sim

@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Dstruct Int List Map Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Int64 List Printf Sdevice Sim

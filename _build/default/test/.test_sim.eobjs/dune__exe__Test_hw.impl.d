@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Hw Int64 Option

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Aquila Array Blobstore Bytes Hw Int64 Kvstore Linux_sim List Map Mcache Printf QCheck QCheck_alcotest Sdevice Sim String Uspace

@@ -1,0 +1,1 @@
+test/test_ligra.ml: Alcotest Aquila Hw Int64 Ligra List Option Printf QCheck QCheck_alcotest Sdevice Sim

@@ -1,0 +1,1 @@
+test/test_linux.ml: Alcotest Bytes Char Hw Int64 Linux_sim Mcache Option Printf Sdevice Sim String

@@ -1,0 +1,1 @@
+test/test_mcache.ml: Alcotest Bytes Char Hw Int64 List Mcache Option Printf QCheck QCheck_alcotest Sdevice Sim

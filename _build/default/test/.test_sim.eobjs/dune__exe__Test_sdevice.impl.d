@@ -1,0 +1,1 @@
+test/test_sdevice.ml: Alcotest Bytes Hw Int64 Option QCheck QCheck_alcotest Sdevice Sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Sim

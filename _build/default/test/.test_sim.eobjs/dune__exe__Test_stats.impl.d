@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Sim Stats

@@ -1,0 +1,1 @@
+test/test_uspace.ml: Alcotest Bytes Hw Int64 Linux_sim Sdevice Sim Uspace

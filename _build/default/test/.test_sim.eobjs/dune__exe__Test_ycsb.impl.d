@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest Sim Stats String Ycsb

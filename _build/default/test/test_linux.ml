@@ -1,0 +1,220 @@
+(* Tests for the Linux baseline (lib/linux_sim): kernel page cache,
+   mmap path, and read/write syscalls. *)
+
+let psz = Hw.Defs.page_size
+let checki = Alcotest.(check int)
+
+type rig = { msys : Linux_sim.Mmap_sys.t; file : Linux_sim.Mmap_sys.file }
+
+let make_rig ?(frames = 32) ?(readahead = 1) ?(file_pages = 256) () =
+  let cfg =
+    {
+      Linux_sim.Mmap_sys.cache =
+        { (Linux_sim.Page_cache.default_config ~frames) with readahead };
+      vma_rb_cost_multiplier = 1;
+    }
+  in
+  let msys = Linux_sim.Mmap_sys.create cfg in
+  let pmem =
+    Sdevice.Pmem.create ~capacity_bytes:(Int64.of_int (file_pages * psz)) ()
+  in
+  let access =
+    Sdevice.Access.host_pmem (Linux_sim.Mmap_sys.costs msys)
+      ~entry:Sdevice.Access.In_kernel pmem
+  in
+  let file =
+    Linux_sim.Mmap_sys.attach_file msys ~name:"t" ~access
+      ~translate:(fun p -> if p < file_pages then Some p else None)
+      ~size_pages:file_pages
+  in
+  { msys; file }
+
+let in_sim f =
+  let eng = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn eng ~core:0 f);
+  Sim.Engine.run eng;
+  eng
+
+let mmap_rw_roundtrip () =
+  let r = make_rig ~frames:16 () in
+  ignore
+    (in_sim (fun () ->
+         Linux_sim.Mmap_sys.enter_thread r.msys;
+         let region = Linux_sim.Mmap_sys.mmap r.msys r.file ~npages:100 () in
+         for p = 0 to 99 do
+           Linux_sim.Mmap_sys.write r.msys region ~off:(p * psz)
+             ~src:(Bytes.make 8 (Char.chr (48 + (p mod 10))))
+         done;
+         for p = 0 to 99 do
+           let dst = Bytes.create 8 in
+           Linux_sim.Mmap_sys.read r.msys region ~off:(p * psz) ~len:8 ~dst;
+           Alcotest.(check char) (Printf.sprintf "page %d" p)
+             (Char.chr (48 + (p mod 10)))
+             (Bytes.get dst 0)
+         done;
+         (* 100 pages through 16 frames: reclaim ran *)
+         Alcotest.(check bool) "reclaimed" true
+           (Linux_sim.Page_cache.evictions (Linux_sim.Mmap_sys.page_cache r.msys) > 0)))
+
+let readahead_fills_cluster () =
+  let r = make_rig ~frames:64 ~readahead:8 () in
+  ignore
+    (in_sim (fun () ->
+         Linux_sim.Mmap_sys.enter_thread r.msys;
+         let region = Linux_sim.Mmap_sys.mmap r.msys r.file ~npages:64 () in
+         let pc = Linux_sim.Mmap_sys.page_cache r.msys in
+         Linux_sim.Mmap_sys.touch r.msys region ~page:0 ~write:false;
+         checki "one io for the window" 1 (Linux_sim.Page_cache.read_ios pc);
+         Alcotest.(check bool) "neighbour resident" true
+           (Linux_sim.Page_cache.is_resident pc
+              ~key:(Mcache.Pagekey.make ~file:(Linux_sim.Mmap_sys.file_id r.file) ~page:7));
+         (* the neighbour faults as a minor fault: no new I/O *)
+         Linux_sim.Mmap_sys.touch r.msys region ~page:7 ~write:false;
+         checki "still one io" 1 (Linux_sim.Page_cache.read_ios pc)))
+
+let tree_lock_contends () =
+  let r = make_rig ~frames:512 ~file_pages:2048 () in
+  let eng = Sim.Engine.create () in
+  let region = ref None in
+  ignore
+    (Sim.Engine.spawn eng ~core:0 (fun () ->
+         Linux_sim.Mmap_sys.enter_thread r.msys;
+         region := Some (Linux_sim.Mmap_sys.mmap r.msys r.file ~npages:2048 ())));
+  Sim.Engine.run eng;
+  for t = 0 to 7 do
+    ignore
+      (Sim.Engine.spawn eng ~core:t (fun () ->
+           Linux_sim.Mmap_sys.enter_thread r.msys;
+           for i = 0 to 127 do
+             Linux_sim.Mmap_sys.touch r.msys (Option.get !region)
+               ~page:((t * 128) + i) ~write:false
+           done))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "tree_lock contention recorded" true
+    (Linux_sim.Page_cache.tree_lock_contended (Linux_sim.Mmap_sys.page_cache r.msys)
+    > 0L)
+
+let msync_cleans () =
+  let r = make_rig () in
+  ignore
+    (in_sim (fun () ->
+         Linux_sim.Mmap_sys.enter_thread r.msys;
+         let region = Linux_sim.Mmap_sys.mmap r.msys r.file ~npages:8 () in
+         Linux_sim.Mmap_sys.write r.msys region ~off:0 ~src:(Bytes.make 16 'd');
+         let pc = Linux_sim.Mmap_sys.page_cache r.msys in
+         Alcotest.(check bool) "dirty" true (Linux_sim.Page_cache.dirty_pages pc > 0);
+         Linux_sim.Mmap_sys.msync r.msys region;
+         checki "clean" 0 (Linux_sim.Page_cache.dirty_pages pc);
+         Alcotest.(check bool) "written" true
+           (Linux_sim.Page_cache.writeback_ios pc > 0)))
+
+let background_flusher_cleans () =
+  let r = make_rig ~frames:128 ~file_pages:256 () in
+  let eng = Sim.Engine.create () in
+  let pc = Linux_sim.Mmap_sys.page_cache r.msys in
+  Linux_sim.Page_cache.spawn_flusher pc ~eng ~hi:16 ~lo:4 ~core:1 ();
+  ignore
+    (Sim.Engine.spawn eng ~core:0 (fun () ->
+         Linux_sim.Mmap_sys.enter_thread r.msys;
+         let region = Linux_sim.Mmap_sys.mmap r.msys r.file ~npages:64 () in
+         for p = 0 to 63 do
+           Linux_sim.Mmap_sys.write r.msys region ~off:(p * psz)
+             ~src:(Bytes.make 8 'f')
+         done));
+  Sim.Engine.run eng;
+  Alcotest.(check bool)
+    (Printf.sprintf "flushed below lo (%d dirty)"
+       (Linux_sim.Page_cache.dirty_pages pc))
+    true
+    (Linux_sim.Page_cache.dirty_pages pc <= 4);
+  Alcotest.(check bool) "writebacks happened" true
+    (Linux_sim.Page_cache.writeback_ios pc > 0);
+  Linux_sim.Page_cache.stop_flusher pc;
+  Sim.Engine.run eng
+
+let linux_fault_pays_ring3_trap () =
+  let r = make_rig () in
+  let eng =
+    in_sim (fun () ->
+        Linux_sim.Mmap_sys.enter_thread r.msys;
+        let region = Linux_sim.Mmap_sys.mmap r.msys r.file ~npages:1 () in
+        Linux_sim.Mmap_sys.touch r.msys region ~page:0 ~write:false)
+  in
+  ignore eng;
+  checki "one fault" 1 (Linux_sim.Mmap_sys.faults r.msys)
+
+(* ---- Readwrite (direct / buffered syscalls) ---- *)
+
+let direct_pread_pwrite () =
+  let pmem = Sdevice.Pmem.create () in
+  let access =
+    Sdevice.Access.host_pmem Hw.Costs.default ~entry:Sdevice.Access.From_user pmem
+  in
+  let fd =
+    Linux_sim.Readwrite.open_direct ~costs:Hw.Costs.default ~access
+      ~translate:(fun p -> if p < 64 then Some (p + 10) else None)
+      ~size_pages:64
+  in
+  ignore
+    (in_sim (fun () ->
+         let src = Bytes.make (2 * psz) 'D' in
+         Linux_sim.Readwrite.pwrite fd ~off:(4 * psz) ~src;
+         (* unaligned reads are fine (kernel rounds to pages) *)
+         let dst = Bytes.create 100 in
+         Linux_sim.Readwrite.pread fd ~off:((4 * psz) + 50) ~len:100 ~dst;
+         Alcotest.(check string) "data" (String.make 100 'D') (Bytes.to_string dst)));
+  checki "write counted" 1 (Linux_sim.Readwrite.writes fd);
+  Alcotest.check_raises "O_DIRECT alignment"
+    (Invalid_argument "Readwrite.pwrite: O_DIRECT requires page alignment") (fun () ->
+      ignore
+        (in_sim (fun () ->
+             Linux_sim.Readwrite.pwrite fd ~off:5 ~src:(Bytes.create psz))))
+
+let buffered_read_through_page_cache () =
+  let r = make_rig ~frames:32 () in
+  let pc = Linux_sim.Mmap_sys.page_cache r.msys in
+  let fd =
+    Linux_sim.Readwrite.open_buffered ~pc
+      ~file_id:(Linux_sim.Mmap_sys.file_id r.file) ~size_pages:256
+  in
+  ignore
+    (in_sim (fun () ->
+         let dst = Bytes.create 10 in
+         Linux_sim.Readwrite.pread fd ~off:0 ~len:10 ~dst;
+         checki "filled via cache" 1 (Linux_sim.Page_cache.misses pc);
+         Linux_sim.Readwrite.pread fd ~off:100 ~len:10 ~dst;
+         checki "second read hits" 1 (Linux_sim.Page_cache.misses pc)))
+
+let buffered_write_marks_dirty () =
+  let r = make_rig ~frames:32 () in
+  let pc = Linux_sim.Mmap_sys.page_cache r.msys in
+  let fd =
+    Linux_sim.Readwrite.open_buffered ~pc
+      ~file_id:(Linux_sim.Mmap_sys.file_id r.file) ~size_pages:256
+  in
+  ignore
+    (in_sim (fun () ->
+         Linux_sim.Readwrite.pwrite fd ~off:123 ~src:(Bytes.of_string "buffered");
+         Alcotest.(check bool) "dirty tagged" true
+           (Linux_sim.Page_cache.dirty_pages pc > 0)))
+
+let () =
+  Alcotest.run "linux_sim"
+    [
+      ( "mmap",
+        [
+          Alcotest.test_case "rw roundtrip with reclaim" `Quick mmap_rw_roundtrip;
+          Alcotest.test_case "fault readahead" `Quick readahead_fills_cluster;
+          Alcotest.test_case "tree_lock contention" `Quick tree_lock_contends;
+          Alcotest.test_case "msync" `Quick msync_cleans;
+          Alcotest.test_case "background flusher" `Quick background_flusher_cleans;
+          Alcotest.test_case "fault counted" `Quick linux_fault_pays_ring3_trap;
+        ] );
+      ( "readwrite",
+        [
+          Alcotest.test_case "direct pread/pwrite" `Quick direct_pread_pwrite;
+          Alcotest.test_case "buffered read" `Quick buffered_read_through_page_cache;
+          Alcotest.test_case "buffered write dirties" `Quick buffered_write_marks_dirty;
+        ] );
+    ]

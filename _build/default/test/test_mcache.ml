@@ -1,0 +1,380 @@
+(* Tests for Aquila's DRAM cache stack (lib/mcache). *)
+
+let psz = Hw.Defs.page_size
+let c = Hw.Costs.default
+let checki = Alcotest.(check int)
+
+(* ---- Pagekey ---- *)
+
+let pagekey_roundtrip =
+  QCheck.Test.make ~name:"pagekey pack/unpack roundtrip" ~count:500
+    QCheck.(pair (int_bound 100000) (int_bound 1000000))
+    (fun (file, page) ->
+      let k = Mcache.Pagekey.make ~file ~page in
+      Mcache.Pagekey.file_of k = file && Mcache.Pagekey.page_of k = page)
+
+let pagekey_orders_by_file_then_page () =
+  let k1 = Mcache.Pagekey.make ~file:1 ~page:999 in
+  let k2 = Mcache.Pagekey.make ~file:2 ~page:0 in
+  let k3 = Mcache.Pagekey.make ~file:2 ~page:1 in
+  Alcotest.(check bool) "file major" true (k1 < k2);
+  Alcotest.(check bool) "page minor" true (k2 < k3)
+
+let pagekey_bounds () =
+  Alcotest.check_raises "file too large"
+    (Invalid_argument "Pagekey.make: file id out of range") (fun () ->
+      ignore (Mcache.Pagekey.make ~file:(1 lsl 27) ~page:0))
+
+(* ---- Freelist ---- *)
+
+let freelist_fallback () =
+  let fl = Mcache.Freelist.create c Hw.Topology.default () in
+  Mcache.Freelist.add_frame fl ~node:0 42;
+  let f, _ = Mcache.Freelist.alloc fl ~core:16 (* node 1: remote steal *) in
+  Alcotest.(check (option int)) "remote fallback" (Some 42) f;
+  let none, _ = Mcache.Freelist.alloc fl ~core:0 in
+  Alcotest.(check (option int)) "exhausted" None none;
+  checki "count" 0 (Mcache.Freelist.free_count fl)
+
+let freelist_free_and_spill () =
+  let fl =
+    Mcache.Freelist.create c Hw.Topology.default ~core_queue_limit:4 ~move_batch:4 ()
+  in
+  for i = 0 to 9 do
+    ignore (Mcache.Freelist.free fl ~core:0 i)
+  done;
+  checki "all tracked" 10 (Mcache.Freelist.free_count fl);
+  (* spills went to the node queue (8 frames); 2 stay in core 0's private
+     queue, which a sibling core cannot steal (per-core level is private) *)
+  let drain core =
+    let got = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      match Mcache.Freelist.alloc fl ~core with
+      | Some _, _ -> incr got
+      | None, _ -> continue_ := false
+    done;
+    !got
+  in
+  checki "sibling recovers spilled frames" 8 (drain 1);
+  checki "owner keeps its private queue" 2 (drain 0)
+
+let freelist_refills_batched () =
+  let fl = Mcache.Freelist.create c Hw.Topology.default ~move_batch:8 () in
+  for i = 0 to 31 do
+    Mcache.Freelist.add_frame fl ~node:0 i
+  done;
+  for _ = 0 to 15 do
+    ignore (Mcache.Freelist.alloc fl ~core:0)
+  done;
+  (* 16 allocs at batch 8 -> only 2 refills *)
+  checki "batched refills" 2 (Mcache.Freelist.refills fl)
+
+(* ---- Dirty set ---- *)
+
+let dirty_sorted_drain () =
+  let ds = Mcache.Dirty_set.create c ~cores:4 in
+  let key file page = Mcache.Pagekey.make ~file ~page in
+  ignore (Mcache.Dirty_set.add ds ~core:0 ~key:(key 1 30) ~frame:0);
+  ignore (Mcache.Dirty_set.add ds ~core:1 ~key:(key 1 10) ~frame:1);
+  ignore (Mcache.Dirty_set.add ds ~core:2 ~key:(key 1 20) ~frame:2);
+  ignore (Mcache.Dirty_set.add ds ~core:3 ~key:(key 2 5) ~frame:3);
+  checki "total" 4 (Mcache.Dirty_set.total ds);
+  let entries, _ = Mcache.Dirty_set.drain_sorted ds () in
+  Alcotest.(check (list int)) "ascending device order"
+    [ key 1 10; key 1 20; key 1 30; key 2 5 ]
+    (List.map fst entries);
+  checki "drained" 0 (Mcache.Dirty_set.total ds)
+
+let dirty_file_filter_and_limit () =
+  let ds = Mcache.Dirty_set.create c ~cores:2 in
+  let key file page = Mcache.Pagekey.make ~file ~page in
+  for p = 0 to 9 do
+    ignore (Mcache.Dirty_set.add ds ~core:(p mod 2) ~key:(key 1 p) ~frame:p)
+  done;
+  ignore (Mcache.Dirty_set.add ds ~core:0 ~key:(key 2 0) ~frame:99);
+  let only_f1, _ = Mcache.Dirty_set.drain_sorted ds ~file:1 ~limit:4 () in
+  checki "limited" 4 (List.length only_f1);
+  Alcotest.(check bool) "all file 1" true
+    (List.for_all (fun (k, _) -> Mcache.Pagekey.file_of k = 1) only_f1);
+  (* the rest (6 of file 1 + 1 of file 2) is still tracked *)
+  checki "remainder" 7 (Mcache.Dirty_set.total ds)
+
+let dirty_idempotent_add () =
+  let ds = Mcache.Dirty_set.create c ~cores:1 in
+  let k = Mcache.Pagekey.make ~file:1 ~page:1 in
+  ignore (Mcache.Dirty_set.add ds ~core:0 ~key:k ~frame:0);
+  ignore (Mcache.Dirty_set.add ds ~core:0 ~key:k ~frame:0);
+  checki "counted once" 1 (Mcache.Dirty_set.total ds)
+
+(* ---- Dram cache ---- *)
+
+type rig = {
+  cache : Mcache.Dram_cache.t;
+  pt : Hw.Page_table.t;
+  pmem : Sdevice.Pmem.t;
+}
+
+let make_rig ?(frames = 32) ?tweak ?(file_pages = 256) () =
+  let machine = Hw.Machine.create () in
+  let pt = Hw.Page_table.create () in
+  let cfg = Mcache.Dram_cache.default_config ~frames in
+  let cfg = match tweak with Some f -> f cfg | None -> cfg in
+  let cache = Mcache.Dram_cache.create ~costs:c ~machine ~page_table:pt cfg in
+  let pmem =
+    Sdevice.Pmem.create ~capacity_bytes:(Int64.of_int (file_pages * psz)) ()
+  in
+  let access = Sdevice.Access.dax_pmem c pmem in
+  Mcache.Dram_cache.register_file cache ~file_id:1 ~access
+    ~translate:(fun p -> if p < file_pages then Some p else None);
+  Mcache.Dram_cache.set_shoot_cores cache [ 0; 1 ];
+  { cache; pt; pmem }
+
+let in_sim f =
+  let eng = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn eng ~core:0 f);
+  Sim.Engine.run eng
+
+let key p = Mcache.Pagekey.make ~file:1 ~page:p
+
+let fault_miss_then_hit () =
+  let r = make_rig () in
+  in_sim (fun () ->
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 5) ~vpn:100 ~write:false ();
+      checki "one miss" 1 (Mcache.Dram_cache.misses r.cache);
+      Alcotest.(check bool) "resident" true
+        (Mcache.Dram_cache.is_resident r.cache ~key:(key 5));
+      (* the PTE is installed read-only *)
+      (match Hw.Page_table.find r.pt ~vpn:100 with
+      | Some pte -> Alcotest.(check bool) "read-only" false pte.Hw.Page_table.writable
+      | None -> Alcotest.fail "pte missing");
+      (* a second fault (e.g. after remap) is a fault-hit: no new I/O *)
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 5) ~vpn:101 ~write:false ();
+      checki "still one miss" 1 (Mcache.Dram_cache.misses r.cache);
+      checki "one fault hit" 1 (Mcache.Dram_cache.fault_hits r.cache);
+      checki "one read io" 1 (Mcache.Dram_cache.read_ios r.cache))
+
+let write_fault_marks_dirty () =
+  let r = make_rig () in
+  in_sim (fun () ->
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 3) ~vpn:50 ~write:true ();
+      checki "dirty tracked" 1 (Mcache.Dram_cache.dirty_pages r.cache);
+      (match Hw.Page_table.find r.pt ~vpn:50 with
+      | Some pte -> Alcotest.(check bool) "writable" true pte.Hw.Page_table.writable
+      | None -> Alcotest.fail "pte missing");
+      (* msync cleans and write-protects *)
+      Mcache.Dram_cache.msync r.cache ~core:0 ();
+      checki "cleaned" 0 (Mcache.Dram_cache.dirty_pages r.cache);
+      checki "one writeback io" 1 (Mcache.Dram_cache.writeback_ios r.cache);
+      match Hw.Page_table.find r.pt ~vpn:50 with
+      | Some pte -> Alcotest.(check bool) "write-protected" false pte.Hw.Page_table.writable
+      | None -> Alcotest.fail "pte missing after msync")
+
+let data_survives_eviction () =
+  (* Write distinctive bytes to many pages through the cache; with only 16
+     frames, evictions write them back; re-reading must return them. *)
+  let r = make_rig ~frames:16 () in
+  in_sim (fun () ->
+      for p = 0 to 63 do
+        Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p) ~vpn:(1000 + p)
+          ~write:true ();
+        let pte = Option.get (Hw.Page_table.find r.pt ~vpn:(1000 + p)) in
+        let data = Mcache.Dram_cache.pfn_data r.cache pte.Hw.Page_table.pfn in
+        Bytes.fill data 0 psz (Char.chr (65 + (p mod 26)))
+      done;
+      Alcotest.(check bool) "evictions happened" true
+        (Mcache.Dram_cache.evictions r.cache > 0);
+      (* read everything back *)
+      for p = 0 to 63 do
+        Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p) ~vpn:(2000 + p)
+          ~write:false ();
+        let pte = Option.get (Hw.Page_table.find r.pt ~vpn:(2000 + p)) in
+        let data = Mcache.Dram_cache.pfn_data r.cache pte.Hw.Page_table.pfn in
+        Alcotest.(check char)
+          (Printf.sprintf "page %d content" p)
+          (Char.chr (65 + (p mod 26)))
+          (Bytes.get data 0)
+      done)
+
+let eviction_unmaps_and_shoots () =
+  let r = make_rig ~frames:16 () in
+  Hw.Ipi.reset_counters ();
+  in_sim (fun () ->
+      for p = 0 to 63 do
+        Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p) ~vpn:(100 + p)
+          ~write:false ()
+      done;
+      (* far more pages touched than frames: early mappings must be gone *)
+      Alcotest.(check bool) "early vpn unmapped" true
+        (Hw.Page_table.find r.pt ~vpn:100 = None);
+      Alcotest.(check bool) "mapped <= frames" true (Hw.Page_table.mapped r.pt <= 16);
+      Alcotest.(check bool) "batched shootdowns sent" true (Hw.Ipi.shootdowns_sent () > 0))
+
+let concurrent_faults_coalesce () =
+  (* Two threads fault the same missing page: one device read, one waiter. *)
+  let r = make_rig () in
+  let eng = Sim.Engine.create () in
+  for core = 0 to 1 do
+    ignore
+      (Sim.Engine.spawn eng ~core (fun () ->
+           Mcache.Dram_cache.fault r.cache ~core ~key:(key 9) ~vpn:(300 + core)
+             ~write:false ()))
+  done;
+  Sim.Engine.run eng;
+  checki "single read io" 1 (Mcache.Dram_cache.read_ios r.cache);
+  checki "one waited" 1 (Mcache.Dram_cache.inflight_waits r.cache)
+
+let readahead_fetches_contiguous () =
+  let r = make_rig ~frames:64 () in
+  in_sim (fun () ->
+      Mcache.Dram_cache.fault r.cache ~core:0 ~readahead:7 ~key:(key 10) ~vpn:400
+        ~write:false ();
+      checki "one merged io" 1 (Mcache.Dram_cache.read_ios r.cache);
+      checki "eight pages" 8 (Mcache.Dram_cache.read_pages r.cache);
+      Alcotest.(check bool) "neighbour resident" true
+        (Mcache.Dram_cache.is_resident r.cache ~key:(key 17));
+      (* neighbours are cached but unmapped: faulting one is a hit *)
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 12) ~vpn:402 ~write:false ();
+      checki "hit, not miss" 1 (Mcache.Dram_cache.misses r.cache))
+
+let writeback_merges_sorted_runs () =
+  let r = make_rig ~frames:64 () in
+  in_sim (fun () ->
+      (* dirty pages 20..27 in scrambled order, via different cores *)
+      List.iteri
+        (fun i p ->
+          Mcache.Dram_cache.fault r.cache ~core:(i mod 2) ~key:(key p) ~vpn:(500 + p)
+            ~write:true ())
+        [ 25; 20; 27; 22; 21; 26; 23; 24 ];
+      Mcache.Dram_cache.msync r.cache ~core:0 ();
+      checki "one merged write io" 1 (Mcache.Dram_cache.writeback_ios r.cache);
+      checki "eight pages written" 8 (Mcache.Dram_cache.writeback_pages r.cache))
+
+let drop_file_clears () =
+  let r = make_rig () in
+  in_sim (fun () ->
+      for p = 0 to 5 do
+        Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p) ~vpn:(600 + p) ~write:true ()
+      done;
+      Mcache.Dram_cache.drop_file r.cache ~core:0 ~file_id:1;
+      Alcotest.(check bool) "nothing resident" true
+        (not (Mcache.Dram_cache.is_resident r.cache ~key:(key 0)));
+      checki "no dirty left" 0 (Mcache.Dram_cache.dirty_pages r.cache);
+      checki "mappings gone" 0 (Hw.Page_table.mapped r.pt);
+      (* dirty data reached the device *)
+      Alcotest.(check bool) "written back" true
+        (Mcache.Dram_cache.writeback_pages r.cache >= 6);
+      checki "all frames free" 32 (Mcache.Dram_cache.free_frames r.cache))
+
+let grow_shrink () =
+  let r =
+    make_rig ~frames:16
+      ~tweak:(fun cfg -> { cfg with Mcache.Dram_cache.max_frames = 32 })
+      ()
+  in
+  checki "initial" 16 (Mcache.Dram_cache.frames_total r.cache);
+  checki "grow adds" 8 (Mcache.Dram_cache.grow r.cache ~frames:8);
+  checki "bounded by max" 8 (Mcache.Dram_cache.grow r.cache ~frames:100);
+  checki "at max" 32 (Mcache.Dram_cache.frames_total r.cache);
+  in_sim (fun () ->
+      checki "shrink removes" 20 (Mcache.Dram_cache.shrink r.cache ~frames:20));
+  checki "after shrink" 12 (Mcache.Dram_cache.frames_total r.cache);
+  (* cache still works at the smaller size *)
+  in_sim (fun () ->
+      for p = 0 to 30 do
+        Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p) ~vpn:(700 + p) ~write:false ()
+      done;
+      Alcotest.(check bool) "usable after resize" true
+        (Mcache.Dram_cache.is_resident r.cache ~key:(key 30)))
+
+let writeback_daemon_cleans_in_background () =
+  let r = make_rig ~frames:64 ~file_pages:256 () in
+  let eng = Sim.Engine.create () in
+  Mcache.Dram_cache.spawn_writeback_daemon r.cache ~eng ~hi:16 ~lo:4 ~core:1 ();
+  ignore
+    (Sim.Engine.spawn eng ~core:0 (fun () ->
+         for p = 0 to 39 do
+           Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p) ~vpn:(800 + p)
+             ~write:true ()
+         done));
+  Sim.Engine.run eng;
+  (* the daemon drained the dirty set below the low watermark without any
+     foreground msync *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dirty below lo (%d)" (Mcache.Dram_cache.dirty_pages r.cache))
+    true
+    (Mcache.Dram_cache.dirty_pages r.cache <= 4);
+  Alcotest.(check bool) "pages written back" true
+    (Mcache.Dram_cache.writeback_pages r.cache >= 36);
+  Mcache.Dram_cache.stop_writeback_daemon r.cache;
+  Sim.Engine.run eng
+
+let crash_loses_unsynced_data () =
+  let r = make_rig ~frames:64 () in
+  in_sim (fun () ->
+      (* page 1 synced; page 2 dirty-only *)
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 1) ~vpn:901 ~write:true ();
+      let pte = Option.get (Hw.Page_table.find r.pt ~vpn:901) in
+      Bytes.fill (Mcache.Dram_cache.pfn_data r.cache pte.Hw.Page_table.pfn) 0 psz 'S';
+      Mcache.Dram_cache.msync r.cache ~core:0 ();
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 2) ~vpn:902 ~write:true ();
+      let pte2 = Option.get (Hw.Page_table.find r.pt ~vpn:902) in
+      Bytes.fill (Mcache.Dram_cache.pfn_data r.cache pte2.Hw.Page_table.pfn) 0 psz 'L');
+  Mcache.Dram_cache.crash r.cache;
+  checki "cache empty" 64 (Mcache.Dram_cache.free_frames r.cache);
+  in_sim (fun () ->
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 1) ~vpn:911 ~write:false ();
+      let pte = Option.get (Hw.Page_table.find r.pt ~vpn:911) in
+      Alcotest.(check char) "synced data survived" 'S'
+        (Bytes.get (Mcache.Dram_cache.pfn_data r.cache pte.Hw.Page_table.pfn) 0);
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 2) ~vpn:912 ~write:false ();
+      let pte2 = Option.get (Hw.Page_table.find r.pt ~vpn:912) in
+      Alcotest.(check char) "unsynced data lost" '\000'
+        (Bytes.get (Mcache.Dram_cache.pfn_data r.cache pte2.Hw.Page_table.pfn) 0))
+
+let unregistered_file_rejected () =
+  let r = make_rig () in
+  Alcotest.check_raises "unknown file" (Invalid_argument "Dram_cache: unregistered file 9")
+    (fun () ->
+      in_sim (fun () ->
+          Mcache.Dram_cache.fault r.cache ~core:0
+            ~key:(Mcache.Pagekey.make ~file:9 ~page:0)
+            ~vpn:1 ~write:false ()))
+
+let () =
+  Alcotest.run "mcache"
+    [
+      ( "pagekey",
+        [
+          QCheck_alcotest.to_alcotest pagekey_roundtrip;
+          Alcotest.test_case "ordering" `Quick pagekey_orders_by_file_then_page;
+          Alcotest.test_case "bounds" `Quick pagekey_bounds;
+        ] );
+      ( "freelist",
+        [
+          Alcotest.test_case "numa fallback" `Quick freelist_fallback;
+          Alcotest.test_case "free and spill" `Quick freelist_free_and_spill;
+          Alcotest.test_case "batched refills" `Quick freelist_refills_batched;
+        ] );
+      ( "dirty set",
+        [
+          Alcotest.test_case "sorted drain" `Quick dirty_sorted_drain;
+          Alcotest.test_case "filter and limit" `Quick dirty_file_filter_and_limit;
+          Alcotest.test_case "idempotent add" `Quick dirty_idempotent_add;
+        ] );
+      ( "dram cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick fault_miss_then_hit;
+          Alcotest.test_case "dirty tracking + msync" `Quick write_fault_marks_dirty;
+          Alcotest.test_case "data survives eviction" `Quick data_survives_eviction;
+          Alcotest.test_case "eviction unmaps" `Quick eviction_unmaps_and_shoots;
+          Alcotest.test_case "in-flight coalescing" `Quick concurrent_faults_coalesce;
+          Alcotest.test_case "readahead" `Quick readahead_fetches_contiguous;
+          Alcotest.test_case "merged writeback" `Quick writeback_merges_sorted_runs;
+          Alcotest.test_case "drop file" `Quick drop_file_clears;
+          Alcotest.test_case "grow/shrink" `Quick grow_shrink;
+          Alcotest.test_case "writeback daemon" `Quick writeback_daemon_cleans_in_background;
+          Alcotest.test_case "crash loses unsynced" `Quick crash_loses_unsynced_data;
+          Alcotest.test_case "unregistered file" `Quick unregistered_file_rejected;
+        ] );
+    ]

@@ -1,0 +1,330 @@
+(* Tests for the discrete-event simulation engine (lib/sim). *)
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let check64 msg a b = Alcotest.(check int64) msg a b
+
+(* ---- Pqueue ---- *)
+
+let pqueue_order () =
+  let q = Sim.Pqueue.create () in
+  Sim.Pqueue.push q ~time:30L ~seq:1 "c";
+  Sim.Pqueue.push q ~time:10L ~seq:2 "a";
+  Sim.Pqueue.push q ~time:20L ~seq:3 "b";
+  let pop () = match Sim.Pqueue.pop q with Some (_, _, v) -> v | None -> "?" in
+  check Alcotest.string "first" "a" (pop ());
+  check Alcotest.string "second" "b" (pop ());
+  check Alcotest.string "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Sim.Pqueue.is_empty q)
+
+let pqueue_fifo_ties () =
+  let q = Sim.Pqueue.create () in
+  for i = 0 to 9 do
+    Sim.Pqueue.push q ~time:5L ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Sim.Pqueue.pop q with
+    | Some (_, _, v) -> checki (Printf.sprintf "tie %d" i) i v
+    | None -> Alcotest.fail "queue drained early"
+  done
+
+let pqueue_prop =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing (time, seq) order"
+    ~count:200
+    QCheck.(list (pair (int_bound 1000) (int_bound 1000)))
+    (fun pairs ->
+      let q = Sim.Pqueue.create () in
+      List.iteri
+        (fun seq (t, v) -> Sim.Pqueue.push q ~time:(Int64.of_int t) ~seq v)
+        pairs;
+      let rec drain last acc =
+        match Sim.Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (t, s, _) ->
+            if compare last (t, s) > 0 then raise Exit;
+            drain (t, s) ((t, s) :: acc)
+      in
+      match drain (-1L, -1) [] with
+      | l -> List.length l = List.length pairs
+      | exception Exit -> false)
+
+(* ---- Rng ---- *)
+
+let rng_deterministic () =
+  let a = Sim.Rng.create 7 and b = Sim.Rng.create 7 in
+  for _ = 1 to 100 do
+    check64 "same stream" (Sim.Rng.next64 a) (Sim.Rng.next64 b)
+  done
+
+let rng_split_independent () =
+  let a = Sim.Rng.create 7 in
+  let c = Sim.Rng.split a in
+  Alcotest.(check bool) "split differs" true (Sim.Rng.next64 a <> Sim.Rng.next64 c)
+
+let rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair (int_range 1 1000000) small_int)
+    (fun (bound, seed) ->
+      let r = Sim.Rng.create seed in
+      let v = Sim.Rng.int r bound in
+      v >= 0 && v < bound)
+
+(* ---- Engine ---- *)
+
+let engine_delay_advances_clock () =
+  let eng = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn eng (fun () -> Sim.Engine.delay 100L));
+  Sim.Engine.run eng;
+  check64 "clock" 100L (Sim.Engine.now eng)
+
+let engine_accounting () =
+  let eng = Sim.Engine.create () in
+  let ctx =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.delay ~cat:Sim.Engine.User 50L;
+        Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"fault" 70L;
+        Sim.Engine.idle_wait 30L)
+  in
+  Sim.Engine.run eng;
+  check64 "user" 50L ctx.Sim.Engine.user;
+  check64 "sys" 70L ctx.Sim.Engine.sys;
+  check64 "idle" 30L ctx.Sim.Engine.idle;
+  check64 "label" 70L (Hashtbl.find ctx.Sim.Engine.labels "fault");
+  check64 "total time" 150L (Sim.Engine.now eng)
+
+let engine_parallel_fibers_overlap () =
+  (* Two fibers each delaying 100 cycles run concurrently in virtual time. *)
+  let eng = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn eng ~core:0 (fun () -> Sim.Engine.delay 100L));
+  ignore (Sim.Engine.spawn eng ~core:1 (fun () -> Sim.Engine.delay 100L));
+  Sim.Engine.run eng;
+  check64 "overlapped" 100L (Sim.Engine.now eng)
+
+let engine_suspend_resume () =
+  let eng = Sim.Engine.create () in
+  let resume_cell = ref None in
+  let woken = ref false in
+  ignore
+    (Sim.Engine.spawn eng ~name:"waiter" (fun () ->
+         Sim.Engine.suspend (fun resume -> resume_cell := Some resume);
+         woken := true));
+  ignore
+    (Sim.Engine.spawn eng ~name:"waker" (fun () ->
+         Sim.Engine.delay 500L;
+         match !resume_cell with Some r -> r () | None -> Alcotest.fail "not registered"));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "woken" true !woken;
+  checki "no stuck fibers" 0 (Sim.Engine.live_fibers eng)
+
+let engine_idle_accounted_on_suspend () =
+  let eng = Sim.Engine.create () in
+  let resume_cell = ref None in
+  let ctx =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.suspend (fun resume -> resume_cell := Some resume))
+  in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 400L;
+         Option.get !resume_cell ()));
+  Sim.Engine.run eng;
+  check64 "idle = blocked time" 400L ctx.Sim.Engine.idle
+
+let engine_double_resume_rejected () =
+  let eng = Sim.Engine.create () in
+  let resume_cell = ref None in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.suspend (fun resume -> resume_cell := Some resume)));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 10L;
+         let r = Option.get !resume_cell in
+         r ();
+         Alcotest.check_raises "second resume raises"
+           (Invalid_argument "fiber fiber: resumed twice") (fun () -> r ())));
+  Sim.Engine.run eng
+
+let engine_deterministic () =
+  let trace seed =
+    let eng = Sim.Engine.create ~seed () in
+    let log = Buffer.create 64 in
+    for i = 0 to 4 do
+      ignore
+        (Sim.Engine.spawn eng ~core:i (fun () ->
+             Sim.Engine.delay (Int64.of_int (Sim.Rng.int (Sim.Engine.rng eng) 100));
+             Buffer.add_string log (Printf.sprintf "%d@%Ld;" i (Sim.Engine.now_f ()))))
+    done;
+    Sim.Engine.run eng;
+    Buffer.contents log
+  in
+  check Alcotest.string "same trace" (trace 3) (trace 3)
+
+(* ---- Sync ---- *)
+
+let mutex_excludes () =
+  let eng = Sim.Engine.create () in
+  let m = Sim.Sync.Mutex.create () in
+  let inside = ref 0 and max_inside = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Sim.Engine.spawn eng ~core:i (fun () ->
+           Sim.Sync.Mutex.lock m;
+           incr inside;
+           max_inside := max !max_inside !inside;
+           Sim.Engine.delay 100L;
+           decr inside;
+           Sim.Sync.Mutex.unlock m))
+  done;
+  Sim.Engine.run eng;
+  checki "mutual exclusion" 1 !max_inside;
+  checki "acquisitions" 4 (Sim.Sync.Mutex.acquisitions m);
+  Alcotest.(check bool) "contention recorded" true
+    (Sim.Sync.Mutex.contended_cycles m > 0L)
+
+let mutex_fifo () =
+  let eng = Sim.Engine.create () in
+  let m = Sim.Sync.Mutex.create () in
+  let order = ref [] in
+  for i = 0 to 3 do
+    ignore
+      (Sim.Engine.spawn eng ~core:i (fun () ->
+           Sim.Engine.delay (Int64.of_int i);
+           (* stagger arrivals *)
+           Sim.Sync.Mutex.lock m;
+           order := i :: !order;
+           Sim.Engine.delay 50L;
+           Sim.Sync.Mutex.unlock m))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2; 3 ] (List.rev !order)
+
+let resource_capacity () =
+  let eng = Sim.Engine.create () in
+  let r = Sim.Sync.Resource.create ~capacity:2 () in
+  let inside = ref 0 and max_inside = ref 0 in
+  for i = 0 to 5 do
+    ignore
+      (Sim.Engine.spawn eng ~core:i (fun () ->
+           Sim.Sync.Resource.acquire r;
+           incr inside;
+           max_inside := max !max_inside !inside;
+           Sim.Engine.idle_wait 100L;
+           decr inside;
+           Sim.Sync.Resource.release r))
+  done;
+  Sim.Engine.run eng;
+  checki "capacity bound" 2 !max_inside;
+  (* 6 jobs, 2 at a time, 100 cycles each -> 300 cycles *)
+  check64 "makespan" 300L (Sim.Engine.now eng)
+
+let barrier_synchronizes_rounds () =
+  let eng = Sim.Engine.create () in
+  let b = Sim.Sync.Barrier.create ~parties:4 in
+  let log = ref [] in
+  for i = 0 to 3 do
+    ignore
+      (Sim.Engine.spawn eng ~core:i (fun () ->
+           for round = 1 to 3 do
+             Sim.Engine.delay (Int64.of_int ((i * 13) + 5));
+             log := (round, i) :: !log;
+             Sim.Sync.Barrier.await b
+           done))
+  done;
+  Sim.Engine.run eng;
+  (* every fiber finishes round r before any fiber starts round r+1 *)
+  let rounds = List.rev_map fst !log in
+  let rec monotone = function
+    | a :: (b :: _ as tl) -> a <= b && monotone tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "rounds in order" true (monotone rounds);
+  checki "all events" 12 (List.length !log);
+  checki "barrier reset" 0 (Sim.Sync.Barrier.waiting b)
+
+let ivar_blocks_until_filled () =
+  let eng = Sim.Engine.create () in
+  let iv = Sim.Sync.Ivar.create () in
+  let got = ref 0 in
+  ignore (Sim.Engine.spawn eng (fun () -> got := Sim.Sync.Ivar.read iv));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 200L;
+         Sim.Sync.Ivar.fill iv 42));
+  Sim.Engine.run eng;
+  checki "value" 42 !got
+
+let waitq_signal_broadcast () =
+  let eng = Sim.Engine.create () in
+  let q = Sim.Sync.Waitq.create () in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Sync.Waitq.wait q;
+           incr woke))
+  done;
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 10L;
+         Alcotest.(check bool) "signal one" true (Sim.Sync.Waitq.signal q);
+         Sim.Engine.delay 10L;
+         checki "broadcast rest" 2 (Sim.Sync.Waitq.broadcast q)));
+  Sim.Engine.run eng;
+  checki "all woke" 3 !woke
+
+(* ---- Costbuf ---- *)
+
+let costbuf_charges_once () =
+  let eng = Sim.Engine.create () in
+  let ctx =
+    Sim.Engine.spawn eng (fun () ->
+        let b = Sim.Costbuf.create () in
+        Sim.Costbuf.add b "x" 30L;
+        Sim.Costbuf.add b "y" 70L;
+        Sim.Costbuf.add b "x" 10L;
+        check64 "total" 110L (Sim.Costbuf.total b);
+        Sim.Costbuf.charge b;
+        check64 "reset" 0L (Sim.Costbuf.total b))
+  in
+  Sim.Engine.run eng;
+  check64 "time" 110L (Sim.Engine.now eng);
+  check64 "label x" 40L (Hashtbl.find ctx.Sim.Engine.labels "x");
+  check64 "label y" 70L (Hashtbl.find ctx.Sim.Engine.labels "y")
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick pqueue_order;
+          Alcotest.test_case "fifo on ties" `Quick pqueue_fifo_ties;
+          QCheck_alcotest.to_alcotest pqueue_prop;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "split" `Quick rng_split_independent;
+          QCheck_alcotest.to_alcotest rng_bounds;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delay advances clock" `Quick engine_delay_advances_clock;
+          Alcotest.test_case "accounting" `Quick engine_accounting;
+          Alcotest.test_case "parallel overlap" `Quick engine_parallel_fibers_overlap;
+          Alcotest.test_case "suspend/resume" `Quick engine_suspend_resume;
+          Alcotest.test_case "idle on suspend" `Quick engine_idle_accounted_on_suspend;
+          Alcotest.test_case "double resume" `Quick engine_double_resume_rejected;
+          Alcotest.test_case "deterministic" `Quick engine_deterministic;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "mutex excludes" `Quick mutex_excludes;
+          Alcotest.test_case "mutex fifo" `Quick mutex_fifo;
+          Alcotest.test_case "resource capacity" `Quick resource_capacity;
+          Alcotest.test_case "barrier" `Quick barrier_synchronizes_rounds;
+          Alcotest.test_case "ivar" `Quick ivar_blocks_until_filled;
+          Alcotest.test_case "waitq" `Quick waitq_signal_broadcast;
+        ] );
+      ("costbuf", [ Alcotest.test_case "labels and charge" `Quick costbuf_charges_once ]);
+    ]

@@ -1,0 +1,89 @@
+(* Tests for the statistics library (lib/stats). *)
+
+let checki = Alcotest.(check int)
+
+(* ---- Histogram ---- *)
+
+let histogram_basics () =
+  let h = Stats.Histogram.create () in
+  Alcotest.(check int64) "empty percentile" 0L (Stats.Histogram.percentile h 99.);
+  List.iter (fun v -> Stats.Histogram.record h v) [ 10L; 20L; 30L; 40L ];
+  checki "count" 4 (Stats.Histogram.count h);
+  Alcotest.(check (float 0.01)) "mean" 25.0 (Stats.Histogram.mean h);
+  Alcotest.(check int64) "max" 40L (Stats.Histogram.max_value h);
+  Alcotest.(check int64) "min" 10L (Stats.Histogram.min_value h)
+
+let histogram_percentile_accuracy =
+  QCheck.Test.make ~name:"percentiles within ~4% of exact" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 10 500) (int_range 1 1_000_000))
+    (fun samples ->
+      let h = Stats.Histogram.create () in
+      List.iter (fun v -> Stats.Histogram.record h (Int64.of_int v)) samples;
+      let sorted = Array.of_list (List.sort compare samples) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let exact = sorted.(min (n - 1) (max 0 (int_of_float (ceil (float_of_int n *. p /. 100.)) - 1))) in
+          let est = Int64.to_float (Stats.Histogram.percentile h p) in
+          est >= float_of_int exact *. 0.96 && est <= float_of_int exact *. 1.07)
+        [ 50.; 90.; 99. ])
+
+let histogram_merge_reset () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  Stats.Histogram.record a 100L;
+  Stats.Histogram.record b 300L;
+  Stats.Histogram.merge_into ~src:a ~dst:b;
+  checki "merged count" 2 (Stats.Histogram.count b);
+  Alcotest.(check (float 1.)) "merged mean" 200. (Stats.Histogram.mean b);
+  Stats.Histogram.reset b;
+  checki "reset" 0 (Stats.Histogram.count b)
+
+(* ---- Breakdown ---- *)
+
+let breakdown_groups () =
+  let eng = Sim.Engine.create () in
+  let ctx =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_device" 100L;
+        Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_kernel" 50L;
+        Sim.Engine.delay ~cat:Sim.Engine.User ~label:"kv_get" 200L)
+  in
+  Sim.Engine.run eng;
+  let bd = Stats.Breakdown.create () in
+  Stats.Breakdown.absorb bd ctx;
+  Alcotest.(check int64) "exact label" 100L (Stats.Breakdown.label bd "io_device");
+  Alcotest.(check int64) "prefix group" 150L (Stats.Breakdown.group bd ~prefixes:[ "io_" ]);
+  Alcotest.(check int64) "user total" 200L (Stats.Breakdown.user bd);
+  Alcotest.(check int64) "sys total" 150L (Stats.Breakdown.sys bd);
+  (match Stats.Breakdown.labels bd with
+  | (top, v) :: _ ->
+      Alcotest.(check string) "sorted desc" "kv_get" top;
+      Alcotest.(check int64) "top value" 200L v
+  | [] -> Alcotest.fail "no labels");
+  Alcotest.(check (float 0.001)) "per op" 75.0 (Stats.Breakdown.per_op 150L 2)
+
+(* ---- Table_fmt ---- *)
+
+let formatting () =
+  Alcotest.(check string) "kcycles" "12.3K" (Stats.Table_fmt.kcycles 12345.);
+  Alcotest.(check string) "cycles small" "950" (Stats.Table_fmt.kcycles 950.);
+  Alcotest.(check string) "ops" "1.5 Kops/s" (Stats.Table_fmt.ops_per_sec 1500.);
+  Alcotest.(check string) "mops" "2.50 Mops/s" (Stats.Table_fmt.ops_per_sec 2.5e6);
+  Alcotest.(check string) "speedup" "2.58x" (Stats.Table_fmt.speedup 2.58);
+  Alcotest.(check string) "us" "1.00 us" (Stats.Table_fmt.usec_of_cycles 2400.);
+  Alcotest.(check string) "seconds" "1.50 s" (Stats.Table_fmt.seconds 1.5);
+  Alcotest.(check string) "ms" "25.00 ms" (Stats.Table_fmt.seconds 0.025);
+  Alcotest.(check string) "pct" "43.7%" (Stats.Table_fmt.pct 43.7)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick histogram_basics;
+          QCheck_alcotest.to_alcotest histogram_percentile_accuracy;
+          Alcotest.test_case "merge/reset" `Quick histogram_merge_reset;
+        ] );
+      ("breakdown", [ Alcotest.test_case "groups" `Quick breakdown_groups ]);
+      ("table_fmt", [ Alcotest.test_case "formatting" `Quick formatting ]);
+    ]
