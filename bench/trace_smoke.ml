@@ -1,0 +1,69 @@
+(* Tracing-overhead smoke test.
+
+   With no tracer installed every probe in the simulator reduces to one
+   flag load and a conditional branch.  This bench measures that residual
+   cost against the simulator's real work and fails if it exceeds the
+   budget (1% by default; override with TRACE_SMOKE_MAX=0.02 etc.).
+
+   Method: the workload's probe-site count E is obtained by running it
+   once under a tracer (retained + dropped events); the per-call cost c
+   of a disabled probe is calibrated over a 20M-iteration loop; the
+   workload's wall time T is taken as the best of three untraced runs.
+   The disabled-tracing overhead is then c * E / T. *)
+
+let wall f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let workload () =
+  let eng = Sim.Engine.create () in
+  let stack =
+    Experiments.Scenario.make_aquila ~frames:1024 ~dev:Experiments.Scenario.Pmem
+      ()
+  in
+  Experiments.Microbench.run ~eng
+    ~sys:(Experiments.Microbench.Aq stack)
+    ~file_pages:4096 ~shared:true ~threads:8 ~ops_per_thread:4000 ()
+
+let () =
+  let budget =
+    match Sys.getenv_opt "TRACE_SMOKE_MAX" with
+    | Some s -> float_of_string s
+    | None -> 0.01
+  in
+  ignore (workload ());
+  (* count the probe sites the workload hits *)
+  ignore (Trace.start ~capacity_per_core:4096 ());
+  ignore (workload ());
+  let tr = Option.get (Trace.stop ()) in
+  let events = Trace.events_count tr + Trace.dropped tr in
+  (* best-of-N on both sides of the ratio to cut scheduler noise *)
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let _, dt = wall workload in
+    if dt < !best then best := dt
+  done;
+  (* per-call cost of the disabled path (flag load + branch + return) *)
+  let calls = 20_000_000 in
+  let best_probe = ref infinity in
+  for _ = 1 to 3 do
+    let _, dt =
+      wall (fun () ->
+          for _ = 1 to calls do
+            Sim.Probe.instant ~cat:"bench" "off"
+          done)
+    in
+    if dt < !best_probe then best_probe := dt
+  done;
+  let per_call = !best_probe /. float_of_int calls in
+  let overhead = per_call *. float_of_int events /. !best in
+  Printf.printf
+    "trace smoke: %d probe events, %.2f ns/disabled-probe, workload %.3f s -> \
+     overhead %.4f%% (budget %.2f%%)\n"
+    events (per_call *. 1e9) !best (overhead *. 100.) (budget *. 100.);
+  if overhead >= budget then begin
+    Printf.printf "FAIL: disabled-tracing overhead above budget\n";
+    exit 1
+  end;
+  Printf.printf "OK\n"

@@ -13,6 +13,30 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+let run_entries entries =
+  Printf.printf "Aquila reproduction — %s\n" Experiments.Scenario.scale_note;
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      Printf.printf "\n### %s: %s\n%!" e.Experiments.Registry.id
+        e.Experiments.Registry.title;
+      e.Experiments.Registry.run ())
+    entries
+
+let resolve id =
+  if id = "all" then Ok Experiments.Registry.all
+  else
+    match Experiments.Registry.find_prefix id with
+    | [] -> Error (Printf.sprintf "unknown experiment %S" id)
+    | entries -> Ok entries
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record a virtual-time trace and write Chrome Trace Event JSON \
+              to $(docv) (open in Perfetto or chrome://tracing).")
+
 let run_cmd =
   let doc = "Run one experiment (or 'all')." in
   let id =
@@ -21,22 +45,82 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see 'list'), or 'all'.")
   in
-  let run id =
-    if id = "all" then begin
-      Experiments.Registry.run_all ();
-      `Ok ()
-    end
-    else
-      match Experiments.Registry.find id with
-      | Some e ->
-          Printf.printf "Aquila reproduction — %s\n" Experiments.Scenario.scale_note;
-          e.Experiments.Registry.run ();
-          `Ok ()
-      | None -> `Error (false, Printf.sprintf "unknown experiment %S" id)
+  let run id trace_out =
+    match resolve id with
+    | Error msg -> `Error (false, msg)
+    | Ok entries ->
+        Experiments.Scenario.with_trace ?out:trace_out (fun () ->
+            run_entries entries);
+        `Ok ()
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id))
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id $ trace_out_arg))
+
+let trace_cmd =
+  let doc = "Run an experiment under the tracer and export the trace." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the experiment(s) selected by $(i,ID) with virtual-time \
+         tracing enabled and writes a Chrome Trace Event JSON file \
+         (cores appear as processes, fibers as threads; one trace \
+         microsecond equals one simulated cycle).  An id prefix selects \
+         every matching experiment, so 'trace fig5' records fig5a and \
+         fig5b into one file.";
+    ]
+  in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id or prefix (see 'list'), or 'all'.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Chrome Trace Event JSON output path.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write a flat CSV of events.")
+  in
+  let summary =
+    Arg.(
+      value
+      & opt int 20
+      & info [ "summary" ] ~docv:"N"
+          ~doc:"Print the top $(docv) spans by total cycles (0 disables).")
+  in
+  let buffer =
+    Arg.(
+      value
+      & opt int 65536
+      & info [ "buffer" ] ~docv:"SLOTS"
+          ~doc:"Per-core ring-buffer capacity in events; oldest events are \
+                dropped on overflow (the drop count is recorded in the \
+                trace).")
+  in
+  let run id out csv summary buffer =
+    match resolve id with
+    | Error msg -> `Error (false, msg)
+    | Ok _ when buffer <= 0 ->
+        `Error (true, "--buffer must be a positive number of events")
+    | Ok entries ->
+        let summary = if summary > 0 then Some summary else None in
+        Experiments.Scenario.with_trace ~buffer_per_core:buffer ~out ?csv
+          ?summary (fun () -> run_entries entries);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc ~man)
+    Term.(ret (const run $ id $ out $ csv $ summary $ buffer))
 
 let () =
   let doc = "Reproduction harness for 'Memory-Mapped I/O on Steroids' (EuroSys '21)" in
   let info = Cmd.info "aquila_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))

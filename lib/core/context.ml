@@ -83,6 +83,7 @@ let enter_thread t =
   (* vmlaunch into non-root ring 0 (Aquila mode only) *)
   match t.dom with
   | Hw.Domain_x.Nonroot_ring0 ->
+      if Trace.on () then Sim.Probe.instant ~cat:"hw" "vmcall";
       Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"enter"
         t.ccosts.Hw.Costs.vmcall_roundtrip
   | Hw.Domain_x.Ring3 -> ()
@@ -234,6 +235,8 @@ let rec touch_page ?(attempt = 0) t region ~page ~write buf =
       pte.Hw.Page_table.pfn
   | _ ->
       t.s_faults <- t.s_faults + 1;
+      (* Page-fault begin/end span; value encodes the cause (1 = write). *)
+      let ft0 = Sim.Probe.span_start () in
       (* Exception in non-root ring 0: no protection-domain switch. *)
       Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"trap"
         (Hw.Domain_x.fault_transition_cost t.ccosts t.dom);
@@ -260,9 +263,15 @@ let rec touch_page ?(attempt = 0) t region ~page ~write buf =
               if Int64.compare eptc 0L > 0 then
                 Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"ept" eptc
           | Hw.Domain_x.Ring3 -> ());
+          Sim.Probe.span_since ~cat:"aquila"
+            ~value:(if write then 1L else 0L)
+            ~t0:ft0 "fault";
           if write then pte.Hw.Page_table.dirty <- true;
           pte.Hw.Page_table.pfn
       | None ->
+          Sim.Probe.span_since ~cat:"aquila"
+            ~value:(if write then 1L else 0L)
+            ~t0:ft0 "fault_stolen";
           (* evicted again before we could use it: re-execute *)
           touch_page ~attempt:(attempt + 1) t region ~page ~write buf)
 

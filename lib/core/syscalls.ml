@@ -15,11 +15,19 @@ let bump t name =
 let intercepted t _costs name =
   t.nintercepted <- t.nintercepted + 1;
   bump t name;
+  if Trace.on () then Sim.Probe.instant ~cat:"syscall" name;
   Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"syscall_dispatch" dispatch_cost
 
 let forwarded t costs dom name =
   t.nforwarded <- t.nforwarded + 1;
   bump t name;
+  if Trace.on () then begin
+    Sim.Probe.instant ~cat:"syscall" name;
+    (* forwarding from non-root ring 0 is a vmcall/vmexit round trip *)
+    match dom with
+    | Hw.Domain_x.Nonroot_ring0 -> Sim.Probe.instant ~cat:"hw" "vmcall"
+    | Hw.Domain_x.Ring3 -> ()
+  end;
   Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"syscall_forward"
     (Hw.Domain_x.syscall_cost costs dom)
 

@@ -23,6 +23,12 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+(* "fig5" selects fig5a+fig5b; an exact id still selects just itself. *)
+let find_prefix id =
+  match find id with
+  | Some e -> [ e ]
+  | None -> List.filter (fun e -> String.starts_with ~prefix:id e.id) all
+
 let run_all () =
   Printf.printf "Aquila reproduction — %s\n" Scenario.scale_note;
   List.iter

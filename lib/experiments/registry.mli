@@ -12,5 +12,11 @@ val all : entry list
     fig8a, fig8b, fig8c, fig9, fig10a, fig10b. *)
 
 val find : string -> entry option
+
+val find_prefix : string -> entry list
+(** [find_prefix id] is the exact match if [id] names an experiment,
+    otherwise every entry whose id starts with [id] (so ["fig5"]
+    resolves to fig5a and fig5b); [[]] when nothing matches. *)
+
 val run_all : unit -> unit
 (** Runs every experiment, with the scale note printed once up front. *)

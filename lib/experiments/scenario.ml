@@ -139,3 +139,34 @@ let kv_of_kreon db =
 let scale_note =
   "sizes scaled ~2^10 vs the paper (GB->MB); ratios, batch amortization and \
    cost constants preserved (DESIGN.md #2)"
+
+(* Run [f] under an ambient tracer and export the requested sinks.  With
+   no sink requested, [f] runs untraced (the fast path).  Used by the CLI
+   to thread --trace through any experiment without touching its code. *)
+let with_trace ?(buffer_per_core = 4096) ?out ?csv ?summary f =
+  match (out, csv, summary) with
+  | None, None, None -> f ()
+  | _ ->
+      ignore (Trace.start ~capacity_per_core:buffer_per_core ());
+      let finish () =
+        match Trace.stop () with
+        | None -> ()
+        | Some tr ->
+            (match out with
+            | Some path ->
+                Trace.write_chrome_json tr path;
+                Printf.printf "trace: %d events (%d dropped) -> %s\n%!"
+                  (Trace.events_count tr) (Trace.dropped tr) path
+            | None -> ());
+            (match csv with Some path -> Trace.write_csv tr path | None -> ());
+            (match summary with
+            | Some top -> Trace.print_summary ~top tr
+            | None -> ())
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          ignore (Trace.stop ());
+          raise e)

@@ -61,3 +61,16 @@ val kv_of_kreon : Kvstore.Kreon_sim.t -> Ycsb.Runner.kv
 
 val scale_note : string
 (** One-line reminder of the 2^10 size scaling, printed by benches. *)
+
+val with_trace :
+  ?buffer_per_core:int ->
+  ?out:string ->
+  ?csv:string ->
+  ?summary:int ->
+  (unit -> 'a) ->
+  'a
+(** [with_trace f] runs [f] under an ambient {!Trace} tracer and exports
+    the requested sinks afterwards: [out] writes Chrome Trace Event JSON
+    (load in Perfetto / chrome://tracing), [csv] a flat CSV, [summary]
+    a top-N span table on stdout.  With no sink requested [f] runs
+    untraced.  The tracer is stopped even if [f] raises. *)

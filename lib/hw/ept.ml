@@ -20,6 +20,7 @@ let touch t (c : Costs.t) ~gpa =
   else begin
     t.nfaults <- t.nfaults + 1;
     Hashtbl.replace t.frames f ();
+    if Trace.on () then Sim.Probe.instant ~cat:"hw" "ept_fault";
     (* vmexit out, host handles the violation, vmentry back *)
     Int64.add (Int64.mul 2L c.vmexit) c.ept_fault
   end

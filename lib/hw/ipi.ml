@@ -14,6 +14,15 @@ let shootdown m (c : Costs.t) ~mode ~src ~targets ~vpns =
   | _ :: _ ->
       incr sent;
       let npages = List.length vpns in
+      if Trace.on () then begin
+        Sim.Probe.instant ~cat:"hw"
+          ~value:(Int64.of_int (List.length targets))
+          (match mode with
+          | Posted -> "ipi_send_posted"
+          | Vmexit_send -> "ipi_send_vmexit"
+          | Kernel_ipi -> "ipi_send_kernel");
+        Sim.Probe.instant ~cat:"hw" ~value:(Int64.of_int npages) "tlb_shootdown"
+      end;
       (* Receiver work: interrupt entry plus one invlpg per page (a full
          flush if the batch is large, as Linux and Aquila both do). *)
       let invalidate_cost =
@@ -25,6 +34,9 @@ let shootdown m (c : Costs.t) ~mode ~src ~targets ~vpns =
         (fun core_id ->
           let core = Machine.core m core_id in
           List.iter (fun vpn -> Tlb.invalidate_page core.Machine.tlb ~vpn) vpns;
+          if Trace.on () then
+            Sim.Probe.instant_on_core ~core:core_id ~cat:"hw"
+              ~value:per_receiver "ipi_recv";
           Machine.deliver_irq m ~core:core_id per_receiver)
         targets;
       (* Sender: one send per batch (posted IPIs broadcast), then wait for

@@ -21,6 +21,7 @@ let access t (c : Costs.t) ~vpn =
   else begin
     t.misses <- t.misses + 1;
     t.slots.(s) <- vpn;
+    if Trace.on () then Sim.Probe.instant ~cat:"hw" "tlb_miss_walk";
     c.tlb_miss_walk
   end
 

@@ -152,6 +152,8 @@ let rec touch_page ?(attempt = 0) t region ~page ~write buf =
   | _ ->
       t.s_faults <- t.s_faults + 1;
       Sim.Costbuf.charge buf;
+      (* Page-fault begin/end span; value encodes the cause (1 = write). *)
+      let ft0 = Sim.Probe.span_start () in
       (* ring 3 → ring 0 trap *)
       delay_sys ~label:"trap"
         (Hw.Domain_x.fault_transition_cost t.lcosts Hw.Domain_x.Ring3);
@@ -160,6 +162,9 @@ let rec touch_page ?(attempt = 0) t region ~page ~write buf =
       let fpage = region.r_area.file_page0 + page in
       let key = Pagekey.make ~file:region.r_area.afile.fid ~page:fpage in
       Page_cache.fault t.pc ~core ~key ~vpn ~write;
+      Sim.Probe.span_since ~cat:"linux"
+        ~value:(if write then 1L else 0L)
+        ~t0:ft0 "fault";
       (match Hw.Page_table.find t.pt ~vpn with
       | Some pte ->
           if write then pte.Hw.Page_table.dirty <- true;

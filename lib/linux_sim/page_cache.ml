@@ -131,6 +131,7 @@ let shootdown_vpns t ~core vpns =
    runs.  Entries must already be guarded (tree entries removed or pages
    locked).  Suspends. *)
 let writeback_pairs t pairs =
+  let wb0 = Sim.Probe.span_start () in
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
   let flush file dev_start run =
     match run with
@@ -165,12 +166,17 @@ let writeback_pairs t pairs =
           | None -> state := Some (file, dev, dev + 1, [ fr ])))
     sorted;
   (match !state with Some last -> runs := last :: !runs | None -> ());
-  List.iter (fun (f, start, _n, run) -> flush f start run) (List.rev !runs)
+  List.iter (fun (f, start, _n, run) -> flush f start run) (List.rev !runs);
+  if pairs <> [] then
+    Sim.Probe.span_since ~cat:"linux"
+      ~value:(Int64.of_int (List.length pairs))
+      ~t0:wb0 "writeback"
 
 (* Direct reclaim by the faulting thread: scan the global LRU under
    [lru_lock], then tear down each victim under its file's [tree_lock]. *)
 let reclaim t ~core =
   let c = t.costs in
+  let rc0 = Sim.Probe.span_start () in
   Sim.Sync.Mutex.lock t.lru_lock;
   let victims = Dstruct.Clock_lru.evict_candidates t.lru t.cfg.reclaim_batch in
   delay_sys ~label:"lru"
@@ -255,6 +261,10 @@ let reclaim t ~core =
     torn;
   Sim.Sync.Mutex.unlock t.zone_lock;
   t.s_evictions <- t.s_evictions + List.length torn;
+  if Trace.on () then
+    Sim.Probe.span_since ~cat:"linux"
+      ~value:(Int64.of_int (List.length torn))
+      ~t0:rc0 "reclaim";
   torn <> []
 
 let rec alloc_frame t ~core attempts =
@@ -346,6 +356,9 @@ let set_dirty t key (fr : frame) =
     Hashtbl.replace m.dirty_tags (Pagekey.page_of key) ();
     delay_sys ~label:"dirty" t.costs.Hw.Costs.radix_update;
     Sim.Sync.Mutex.unlock m.tree_lock;
+    if Trace.on () then
+      Sim.Probe.counter ~cat:"linux" "dirty_pages"
+        (Int64.of_int (total_dirty t));
     match t.flusher with
     | Some (hi, _) when total_dirty t > hi ->
         ignore (Sim.Sync.Waitq.signal t.flusher_waitq)
@@ -356,6 +369,7 @@ let rec ensure_resident t ~core ~key =
   match lookup t key with
   | Some fr ->
       t.s_hits <- t.s_hits + 1;
+      if Trace.on () then Sim.Probe.instant ~cat:"linux" "hit";
       Dstruct.Clock_lru.touch t.lru fr.fno;
       delay_sys ~label:"lru" t.costs.Hw.Costs.lru_update;
       fr
@@ -367,7 +381,10 @@ let rec ensure_resident t ~core ~key =
       | None ->
           let iv = Sim.Sync.Ivar.create () in
           Hashtbl.replace t.inflight key iv;
+          if Trace.on () then Sim.Probe.instant ~cat:"linux" "miss";
+          let f0 = Sim.Probe.span_start () in
           let fr = fill t ~core ~key in
+          Sim.Probe.span_since ~cat:"linux" ~t0:f0 "fill";
           Hashtbl.remove t.inflight key;
           Sim.Sync.Ivar.fill iv ();
           t.s_misses <- t.s_misses + 1;

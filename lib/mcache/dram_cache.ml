@@ -158,6 +158,7 @@ let invalidate_mappings t ~core ~vpns buf =
    runs of device-contiguous pages into single I/Os.  Suspends. *)
 let writeback_frames t frames buf =
   let c = t.costs in
+  let wb0 = Sim.Probe.span_start () in
   let items = List.sort (fun (a : frame) b -> compare a.key b.key) frames in
   let flush_run file dev_start run =
     match run with
@@ -196,7 +197,11 @@ let writeback_frames t frames buf =
     items;
   (match !state with Some last -> runs := last :: !runs | None -> ());
   (* Issue the I/Os after run computation (the blits snapshot the data). *)
-  List.iter (fun (f, start, _next, run) -> flush_run f start run) (List.rev !runs)
+  List.iter (fun (f, start, _next, run) -> flush_run f start run) (List.rev !runs);
+  if frames <> [] then
+    Sim.Probe.span_since ~cat:"mcache"
+      ~value:(Int64.of_int (List.length frames))
+      ~t0:wb0 "writeback"
 
 (* Synchronously evict a batch of frames (Section 3.2).  The index
    removal, in-flight guards, PTE teardown and shootdown all happen
@@ -207,6 +212,7 @@ let evict_batch_now t ~core buf =
   match victims with
   | [] -> false
   | _ :: _ ->
+      let ev0 = Sim.Probe.span_start () in
       let frames = List.map (fun fno -> t.arr.(fno)) victims in
       let c = t.costs in
       let dirty_frames = List.filter (fun (fr : frame) -> fr.dirty) frames in
@@ -260,6 +266,13 @@ let evict_batch_now t ~core buf =
           Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core fr.fno))
         frames;
       t.s_evictions <- t.s_evictions + List.length frames;
+      if Trace.on () then begin
+        Sim.Probe.span_since ~cat:"mcache"
+          ~value:(Int64.of_int (List.length frames))
+          ~t0:ev0 "evict_batch";
+        Sim.Probe.counter ~cat:"mcache" "dirty_pages"
+          (Int64.of_int (Dirty_set.total t.dirty))
+      end;
       true
 
 (* Concurrent faulting threads coalesce on one evictor: a stampede of
@@ -366,6 +379,7 @@ let fault t ?readahead ~core ~key ~vpn ~write () =
     match Dstruct.Lockfree_hash.find t.index key with
     | Some frame ->
         t.s_fault_hits <- t.s_fault_hits + 1;
+        if Trace.on () then Sim.Probe.instant ~cat:"mcache" "hit";
         frame
     | None -> (
         match Hashtbl.find_opt t.inflight key with
@@ -377,6 +391,7 @@ let fault t ?readahead ~core ~key ~vpn ~write () =
         | None ->
             let iv = Sim.Sync.Ivar.create () in
             Hashtbl.replace t.inflight key iv;
+            if Trace.on () then Sim.Probe.instant ~cat:"mcache" "miss";
             let frame = alloc_frame t ~core buf 0 in
             read_in t ~core ~key ~readahead frame buf;
             Hashtbl.remove t.inflight key;
@@ -394,6 +409,9 @@ let fault t ?readahead ~core ~key ~vpn ~write () =
     frame.dirty <- true;
     frame.dirty_core <- core;
     Sim.Costbuf.add buf "map" (Dirty_set.add t.dirty ~core ~key ~frame:frame.fno);
+    if Trace.on () then
+      Sim.Probe.counter ~cat:"mcache" "dirty_pages"
+        (Int64.of_int (Dirty_set.total t.dirty));
     match t.wb_daemon with
     | Some (hi, _) when Dirty_set.total t.dirty > hi ->
         ignore (Sim.Sync.Waitq.signal t.wb_waitq)

@@ -129,11 +129,15 @@ let host_nvme costs ~entry dev =
 
 let read_pages t ~page ~count ~dst =
   check ~count ~buf:dst;
-  t.do_read ~page ~count ~dst
+  let t0 = Sim.Probe.span_start () in
+  t.do_read ~page ~count ~dst;
+  Sim.Probe.span_since ~cat:"sdevice" ~value:(Int64.of_int count) ~t0 "dev_read"
 
 let write_pages t ~page ~count ~src =
   check ~count ~buf:src;
-  t.do_write ~page ~count ~src
+  let t0 = Sim.Probe.span_start () in
+  t.do_write ~page ~count ~src;
+  Sim.Probe.span_since ~cat:"sdevice" ~value:(Int64.of_int count) ~t0 "dev_write"
 
 let read_page t ~page ~dst = read_pages t ~page ~count:1 ~dst
 let write_page t ~page ~src = write_pages t ~page ~count:1 ~src

@@ -1,5 +1,6 @@
 type t = {
   dname : string;
+  qd_name : string; (* precomputed counter label: no allocation per event *)
   dstore : Pagestore.t;
   channels : Sim.Sync.Resource.t;
   setup : int64;
@@ -14,6 +15,7 @@ type t = {
 let create ~name ~channels ~setup_cycles ~cycles_per_byte ~capacity_bytes () =
   {
     dname = name;
+    qd_name = name ^ ":queue_depth";
     dstore = Pagestore.create ();
     channels = Sim.Sync.Resource.create ~name ~capacity:channels ();
     setup = setup_cycles;
@@ -37,15 +39,22 @@ let check_range t addr len =
      || Int64.compare (Int64.add addr (Int64.of_int len)) t.cap > 0
   then invalid_arg (t.dname ^ ": I/O outside device capacity")
 
+(* The submit→complete span covers queueing for a device channel plus the
+   transfer itself; the counter samples channel occupancy at dispatch. *)
 let occupy t ~polling ~len =
+  let io0 = Sim.Probe.span_start () in
   Sim.Sync.Resource.acquire t.channels;
+  if Trace.on () then
+    Sim.Probe.counter ~cat:"sdevice" t.qd_name
+      (Int64.of_int (Sim.Sync.Resource.in_use t.channels));
   let service = service_time t ~len in
   if polling then Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_device" service
   else begin
     Sim.Engine.idle_wait service;
     Sim.Engine.label_add "io_device" service
   end;
-  Sim.Sync.Resource.release t.channels
+  Sim.Sync.Resource.release t.channels;
+  Sim.Probe.span_since ~cat:"sdevice" ~value:(Int64.of_int len) ~t0:io0 t.dname
 
 let read ?(polling = false) t ~addr ~len ~dst ~dst_off =
   check_range t addr len;

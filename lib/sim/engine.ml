@@ -20,6 +20,7 @@ type t = {
   mutable next_fid : int;
   mutable nevents : int;
   engine_rng : Rng.t;
+  blocked : (int, ctx) Hashtbl.t; (* fibers parked in Suspend, by fid *)
 }
 
 type _ Effect.t +=
@@ -39,12 +40,32 @@ let create ?(seed = 42) () =
     next_fid = 0;
     nevents = 0;
     engine_rng = Rng.create seed;
+    blocked = Hashtbl.create 64;
   }
 
 let now t = t.now
 let rng t = t.engine_rng
 let events t = t.nevents
 let live_fibers t = t.live
+
+let blocked_fibers t =
+  Hashtbl.fold
+    (fun _ ctx acc -> if ctx.daemon then acc else ctx :: acc)
+    t.blocked []
+  |> List.sort (fun a b -> compare a.fid b.fid)
+  |> List.map (fun ctx -> (ctx.core, ctx.name))
+
+(* Tracing: every hook is behind [Trace.on] so the disabled path is one
+   load and branch per site. *)
+let trace_span ~ts ~dur ~cat ctx name =
+  match Trace.current () with
+  | Some tr -> Trace.span tr ~ts ~dur ~core:ctx.core ~fiber:ctx.fid ~cat name
+  | None -> ()
+
+let trace_instant ~ts ~cat ctx name =
+  match Trace.current () with
+  | Some tr -> Trace.instant tr ~ts ~core:ctx.core ~fiber:ctx.fid ~cat name
+  | None -> ()
 
 let schedule t ~at thunk =
   let at = if Int64.compare at t.now < 0 then t.now else at in
@@ -64,7 +85,10 @@ let run_fiber t ctx f =
   let open Effect.Deep in
   match_with f ()
     {
-      retc = (fun () -> if not ctx.daemon then t.live <- t.live - 1);
+      retc =
+        (fun () ->
+          if not ctx.daemon then t.live <- t.live - 1;
+          if Trace.on () then trace_instant ~ts:t.now ~cat:"engine" ctx "exit");
       exnc = raise;
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -77,6 +101,10 @@ let run_fiber t ctx f =
                   | User -> ctx.user <- Int64.add ctx.user c
                   | Sys -> ctx.sys <- Int64.add ctx.sys c);
                   bump ctx.labels label c;
+                  (if Trace.on () then
+                     match label with
+                     | Some l -> trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx l
+                     | None -> ());
                   schedule t ~at:(Int64.add t.now c) (fun () ->
                       t.current <- Some ctx;
                       continue k ()))
@@ -85,6 +113,8 @@ let run_fiber t ctx f =
                 (fun (k : (a, _) continuation) ->
                   let c = if Int64.compare c 0L < 0 then 0L else c in
                   ctx.idle <- Int64.add ctx.idle c;
+                  if Trace.on () then
+                    trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx "idle";
                   schedule t ~at:(Int64.add t.now c) (fun () ->
                       t.current <- Some ctx;
                       continue k ()))
@@ -93,13 +123,19 @@ let run_fiber t ctx f =
                 (fun (k : (a, _) continuation) ->
                   let t0 = t.now in
                   let resumed = ref false in
+                  Hashtbl.replace t.blocked ctx.fid ctx;
                   let resume () =
                     if !resumed then
                       invalid_arg
                         (Printf.sprintf "fiber %s: resumed twice" ctx.name);
                     resumed := true;
+                    Hashtbl.remove t.blocked ctx.fid;
                     schedule t ~at:t.now (fun () ->
                         ctx.idle <- Int64.add ctx.idle (Int64.sub t.now t0);
+                        (if Trace.on () && Int64.compare t.now t0 > 0 then
+                           trace_span ~ts:t0
+                             ~dur:(Int64.sub t.now t0)
+                             ~cat:"engine" ctx "blocked");
                         t.current <- Some ctx;
                         continue k ())
                   in
@@ -124,6 +160,13 @@ let spawn t ?(name = "fiber") ?(core = 0) ?(daemon = false) f =
     }
   in
   if not daemon then t.live <- t.live + 1;
+  (if Trace.on () then
+     match Trace.current () with
+     | Some tr ->
+         Trace.declare_fiber tr ~fiber:ctx.fid ~core:ctx.core ~name:ctx.name;
+         Trace.instant tr ~ts:t.now ~core:ctx.core ~fiber:ctx.fid ~cat:"engine"
+           "spawn"
+     | None -> ());
   schedule t ~at:t.now (fun () ->
       t.current <- Some ctx;
       run_fiber t ctx f);

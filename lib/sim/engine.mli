@@ -48,6 +48,12 @@ val live_fibers : t -> int
     finished.  After {!run} returns, a non-zero value indicates fibers
     blocked forever (a deadlock or a missing signal). *)
 
+val blocked_fibers : t -> (int * string) list
+(** [blocked_fibers t] is the [(core, name)] of every non-daemon fiber
+    currently parked in {!suspend} and never resumed, sorted by fiber id.
+    After {!run} drains with [live_fibers t > 0], this names the deadlocked
+    fibers instead of leaving users to guess. *)
+
 val spawn : t -> ?name:string -> ?core:int -> ?daemon:bool -> (unit -> unit) -> ctx
 (** [spawn t f] schedules fiber [f] to start at the current virtual time and
     returns its context.  [core] (default 0) pins the fiber; [daemon]

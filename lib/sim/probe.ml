@@ -1,0 +1,57 @@
+(* Fiber-aware tracepoints: thin wrappers that stamp Trace events with the
+   enclosing fiber's virtual time, core and id.  Every entry point checks
+   [Trace.on] first, so a disabled probe costs one load and branch; sites
+   outside any fiber (no effect handler installed) drop the event. *)
+
+let fiber_ctx () =
+  try Some (Engine.self ()) with Effect.Unhandled _ -> None
+
+let emit_instant ~cat ~value name =
+  match (Trace.current (), fiber_ctx ()) with
+  | Some tr, Some c ->
+      Trace.instant tr ~ts:(Engine.now_f ()) ~core:c.Engine.core
+        ~fiber:c.Engine.fid ~cat ?value name
+  | _ -> ()
+
+let instant ?(cat = "sim") ?value name =
+  if Trace.on () then emit_instant ~cat ~value name
+
+let emit_instant_on_core ~core ~cat ~value name =
+  match (Trace.current (), fiber_ctx ()) with
+  | Some tr, Some _ ->
+      Trace.instant tr ~ts:(Engine.now_f ()) ~core ~fiber:0 ~cat ?value name
+  | _ -> ()
+
+let instant_on_core ~core ?(cat = "sim") ?value name =
+  if Trace.on () then emit_instant_on_core ~core ~cat ~value name
+
+let emit_counter ~cat ~value name =
+  match (Trace.current (), fiber_ctx ()) with
+  | Some tr, Some c ->
+      Trace.counter tr ~ts:(Engine.now_f ()) ~core:c.Engine.core ~cat ~value name
+  | _ -> ()
+
+let counter ?(cat = "sim") name value =
+  if Trace.on () then emit_counter ~cat ~value name
+
+let span_start () = if Trace.on () then Engine.now_f () else 0L
+
+let emit_span_since ~cat ~value ~t0 name =
+  match (Trace.current (), fiber_ctx ()) with
+  | Some tr, Some c ->
+      Trace.span tr ~ts:t0
+        ~dur:(Int64.sub (Engine.now_f ()) t0)
+        ~core:c.Engine.core ~fiber:c.Engine.fid ~cat ?value name
+  | _ -> ()
+
+let span_since ?(cat = "sim") ?value ~t0 name =
+  if Trace.on () then emit_span_since ~cat ~value ~t0 name
+
+let with_span ?(cat = "sim") ?value name f =
+  if not (Trace.on ()) then f ()
+  else begin
+    let t0 = Engine.now_f () in
+    let r = f () in
+    span_since ~cat ?value ~t0 name;
+    r
+  end

@@ -69,6 +69,17 @@ let percentile t p =
     go 0 0
   end
 
+let merge a b =
+  let t = create () in
+  for i = 0 to nbuckets - 1 do
+    t.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
+  done;
+  t.n <- a.n + b.n;
+  t.sum <- a.sum +. b.sum;
+  t.vmin <- (if Int64.compare a.vmin b.vmin < 0 then a.vmin else b.vmin);
+  t.vmax <- (if Int64.compare a.vmax b.vmax > 0 then a.vmax else b.vmax);
+  t
+
 let merge_into ~src ~dst =
   for i = 0 to nbuckets - 1 do
     dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)

@@ -20,6 +20,11 @@ val percentile : t -> float -> int64
 (** [percentile t p] is the smallest bucket upper bound covering fraction
     [p] (in [\[0,100\]]) of samples; 0 when empty. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding all of [a]'s and [b]'s
+    samples; neither input is modified.  Combines per-core latency
+    distributions (e.g. from traces) into one. *)
+
 val merge_into : src:t -> dst:t -> unit
 (** [merge_into ~src ~dst] adds all of [src]'s buckets into [dst]. *)
 

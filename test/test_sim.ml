@@ -160,6 +160,39 @@ let engine_deterministic () =
   in
   check Alcotest.string "same trace" (trace 3) (trace 3)
 
+let engine_blocked_fibers_reports_deadlock () =
+  (* Two fibers park forever on suspend; the engine drains its runnable
+     queue and [blocked_fibers] names who is stuck, for deadlock triage. *)
+  let eng = Sim.Engine.create () in
+  ignore
+    (Sim.Engine.spawn eng ~name:"stuck-a" ~core:0 (fun () ->
+         Sim.Engine.suspend (fun _resume -> ())));
+  ignore
+    (Sim.Engine.spawn eng ~name:"stuck-b" ~core:2 (fun () ->
+         Sim.Engine.delay 10L;
+         Sim.Engine.suspend (fun _resume -> ())));
+  ignore (Sim.Engine.spawn eng ~name:"fine" (fun () -> Sim.Engine.delay 5L));
+  Sim.Engine.run eng;
+  checki "two stuck" 2 (Sim.Engine.live_fibers eng);
+  Alcotest.(check (list (pair int string)))
+    "who and where"
+    [ (0, "stuck-a"); (2, "stuck-b") ]
+    (Sim.Engine.blocked_fibers eng)
+
+let engine_blocked_fibers_empty_when_clean () =
+  let eng = Sim.Engine.create () in
+  let resume_cell = ref None in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.suspend (fun resume -> resume_cell := Some resume)));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 100L;
+         Option.get !resume_cell ()));
+  Sim.Engine.run eng;
+  Alcotest.(check (list (pair int string)))
+    "nothing blocked after clean run" [] (Sim.Engine.blocked_fibers eng)
+
 (* ---- Sync ---- *)
 
 let mutex_excludes () =
@@ -316,6 +349,10 @@ let () =
           Alcotest.test_case "idle on suspend" `Quick engine_idle_accounted_on_suspend;
           Alcotest.test_case "double resume" `Quick engine_double_resume_rejected;
           Alcotest.test_case "deterministic" `Quick engine_deterministic;
+          Alcotest.test_case "blocked fibers named" `Quick
+            engine_blocked_fibers_reports_deadlock;
+          Alcotest.test_case "blocked fibers empty" `Quick
+            engine_blocked_fibers_empty_when_clean;
         ] );
       ( "sync",
         [

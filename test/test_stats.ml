@@ -28,6 +28,77 @@ let histogram_percentile_accuracy =
           est >= float_of_int exact *. 0.96 && est <= float_of_int exact *. 1.07)
         [ 50.; 90.; 99. ])
 
+(* Values below 32 land in width-1 buckets, so percentiles are exact:
+   good for pinning down the rank arithmetic without bucket error. *)
+let histogram_percentiles_exact () =
+  let h = Stats.Histogram.create () in
+  for v = 1 to 20 do
+    Stats.Histogram.record h (Int64.of_int v)
+  done;
+  Alcotest.(check int64) "p50" 10L (Stats.Histogram.percentile h 50.);
+  Alcotest.(check int64) "p95" 19L (Stats.Histogram.percentile h 95.);
+  Alcotest.(check int64) "p99" 20L (Stats.Histogram.percentile h 99.);
+  Alcotest.(check int64) "p100" 20L (Stats.Histogram.percentile h 100.);
+  Alcotest.(check int64) "p0 clamps to first sample" 1L
+    (Stats.Histogram.percentile h 0.)
+
+let histogram_bucket_boundary () =
+  (* 32 is the first value of the first log group; both its bucket index
+     and bound round-trip exactly (index_of 32 = 32, bound_of 32 = 32). *)
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.record h 31L;
+  Stats.Histogram.record h 32L;
+  Alcotest.(check int64) "p50 below boundary" 31L
+    (Stats.Histogram.percentile h 50.);
+  Alcotest.(check int64) "p100 at boundary" 32L
+    (Stats.Histogram.percentile h 100.);
+  Alcotest.(check int64) "min" 31L (Stats.Histogram.min_value h);
+  Alcotest.(check int64) "max" 32L (Stats.Histogram.max_value h)
+
+let histogram_merge_pure () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  for v = 1 to 10 do
+    Stats.Histogram.record a (Int64.of_int v)
+  done;
+  for v = 11 to 20 do
+    Stats.Histogram.record b (Int64.of_int v)
+  done;
+  let m = Stats.Histogram.merge a b in
+  checki "merged count" 20 (Stats.Histogram.count m);
+  Alcotest.(check (float 0.01)) "merged mean" 10.5 (Stats.Histogram.mean m);
+  Alcotest.(check int64) "merged min" 1L (Stats.Histogram.min_value m);
+  Alcotest.(check int64) "merged max" 20L (Stats.Histogram.max_value m);
+  Alcotest.(check int64) "merged p50" 10L (Stats.Histogram.percentile m 50.);
+  (* inputs untouched *)
+  checki "a count" 10 (Stats.Histogram.count a);
+  checki "b count" 10 (Stats.Histogram.count b);
+  Alcotest.(check int64) "a p50" 5L (Stats.Histogram.percentile a 50.);
+  (* merging empties is the identity / empty histogram *)
+  let e = Stats.Histogram.create () in
+  checki "empty+empty" 0 (Stats.Histogram.count (Stats.Histogram.merge e e));
+  let ae = Stats.Histogram.merge a e in
+  checki "a+empty count" 10 (Stats.Histogram.count ae);
+  Alcotest.(check int64) "a+empty min" 1L (Stats.Histogram.min_value ae);
+  Alcotest.(check int64) "a+empty max" 10L (Stats.Histogram.max_value ae)
+
+let histogram_merge_agrees_with_merge_into =
+  QCheck.Test.make ~name:"merge a b = merge_into on every percentile" ~count:50
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 100_000))
+        (list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 100_000)))
+    (fun (xs, ys) ->
+      let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+      List.iter (fun v -> Stats.Histogram.record a (Int64.of_int v)) xs;
+      List.iter (fun v -> Stats.Histogram.record b (Int64.of_int v)) ys;
+      let m = Stats.Histogram.merge a b in
+      Stats.Histogram.merge_into ~src:a ~dst:b;
+      Stats.Histogram.count m = Stats.Histogram.count b
+      && List.for_all
+           (fun p ->
+             Stats.Histogram.percentile m p = Stats.Histogram.percentile b p)
+           [ 10.; 50.; 90.; 99.; 99.9 ])
+
 let histogram_merge_reset () =
   let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
   Stats.Histogram.record a 100L;
@@ -82,6 +153,11 @@ let () =
         [
           Alcotest.test_case "basics" `Quick histogram_basics;
           QCheck_alcotest.to_alcotest histogram_percentile_accuracy;
+          Alcotest.test_case "exact percentiles" `Quick
+            histogram_percentiles_exact;
+          Alcotest.test_case "bucket boundary" `Quick histogram_bucket_boundary;
+          Alcotest.test_case "merge (pure)" `Quick histogram_merge_pure;
+          QCheck_alcotest.to_alcotest histogram_merge_agrees_with_merge_into;
           Alcotest.test_case "merge/reset" `Quick histogram_merge_reset;
         ] );
       ("breakdown", [ Alcotest.test_case "groups" `Quick breakdown_groups ]);

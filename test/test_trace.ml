@@ -1,0 +1,312 @@
+(* Tests for the virtual-time tracing layer (lib/trace) and its wiring
+   through the simulated stack. *)
+
+let checki = Alcotest.(check int)
+
+(* ---- minimal JSON parser (no external deps) ----------------------- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then '\000' else s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then
+      raise (Bad_json (Printf.sprintf "expected %c at byte %d" c !pos));
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' ->
+          advance ();
+          Buffer.contents b
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              (* the exporter only emits \u00XX controls; decode loosely *)
+              for _ = 1 to 4 do
+                advance ()
+              done;
+              Buffer.add_char b '?'
+          | c -> raise (Bad_json (Printf.sprintf "bad escape \\%c" c)));
+          advance ();
+          go ()
+      | '\000' -> raise (Bad_json "eof inside string")
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          J_obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                J_obj (List.rev ((k, v) :: acc))
+            | c -> raise (Bad_json (Printf.sprintf "bad object char %c" c))
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          J_list []
+        end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elements (v :: acc)
+            | ']' ->
+                advance ();
+                J_list (List.rev (v :: acc))
+            | c -> raise (Bad_json (Printf.sprintf "bad array char %c" c))
+          in
+          elements []
+    | '"' -> J_str (parse_string ())
+    | 't' -> literal "true" (J_bool true)
+    | 'f' -> literal "false" (J_bool false)
+    | 'n' -> literal "null" J_null
+    | _ ->
+        let start = !pos in
+        let numchar c =
+          (c >= '0' && c <= '9')
+          || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        in
+        while numchar (peek ()) do
+          advance ()
+        done;
+        if !pos = start then
+          raise (Bad_json (Printf.sprintf "unexpected byte at %d" !pos));
+        J_num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing bytes after document");
+  v
+
+let field name = function
+  | J_obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let str_field name o =
+  match field name o with Some (J_str s) -> Some s | _ -> None
+
+let num_field name o =
+  match field name o with Some (J_num f) -> Some f | _ -> None
+
+(* ---- trace core --------------------------------------------------- *)
+
+let ring_overflow_drops () =
+  let t = Trace.create ~capacity_per_core:4 () in
+  for i = 1 to 10 do
+    Trace.instant t ~ts:(Int64.of_int i) ~core:0 ~fiber:1 ~cat:"x"
+      (Printf.sprintf "e%d" i)
+  done;
+  checki "retained" 4 (Trace.events_count t);
+  checki "dropped" 6 (Trace.dropped t);
+  let names = List.map (fun e -> e.Trace.ev_name) (Trace.events t) in
+  Alcotest.(check (list string)) "oldest overwritten, order kept"
+    [ "e7"; "e8"; "e9"; "e10" ] names
+
+let core_clamping () =
+  let t = Trace.create ~capacity_per_core:8 ~max_cores:2 () in
+  Trace.instant t ~ts:1L ~core:99 ~fiber:0 ~cat:"x" "wild";
+  Trace.instant t ~ts:2L ~core:(-3) ~fiber:0 ~cat:"x" "neg";
+  checki "both kept" 2 (Trace.events_count t);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "core within range" true
+        (e.Trace.ev_core >= 0 && e.Trace.ev_core < 2))
+    (Trace.events t)
+
+let summary_aggregates () =
+  let t = Trace.create () in
+  Trace.span t ~ts:0L ~dur:10L ~core:0 ~fiber:1 ~cat:"a" "alpha";
+  Trace.span t ~ts:5L ~dur:30L ~core:1 ~fiber:2 ~cat:"a" "alpha";
+  Trace.span t ~ts:7L ~dur:25L ~core:0 ~fiber:1 ~cat:"b" "beta";
+  Trace.instant t ~ts:8L ~core:0 ~fiber:1 ~cat:"a" "marker";
+  match Trace.summary t with
+  | [ first; second ] ->
+      Alcotest.(check string) "top span" "alpha" first.Trace.ss_name;
+      checki "top count" 2 first.Trace.ss_count;
+      Alcotest.(check int64) "top total" 40L first.Trace.ss_total;
+      Alcotest.(check string) "second" "beta" second.Trace.ss_name
+  | l -> Alcotest.failf "expected 2 span stats, got %d" (List.length l)
+
+let csv_shape () =
+  let t = Trace.create () in
+  Trace.span t ~ts:3L ~dur:4L ~core:0 ~fiber:1 ~cat:"c" ~value:9L "s";
+  Trace.counter t ~ts:5L ~core:0 ~cat:"c" ~value:2L "depth";
+  let lines = String.split_on_char '\n' (String.trim (Trace.csv t)) in
+  match lines with
+  | [ header; l1; l2 ] ->
+      Alcotest.(check string) "header" "ts,seq,kind,core,fiber,cat,name,dur,value"
+        header;
+      Alcotest.(check bool) "span row" true
+        (String.length l1 > 0 && String.contains l1 's');
+      Alcotest.(check bool) "counter row" true
+        (String.length l2 > 0 && String.contains l2 'd')
+  | _ -> Alcotest.failf "expected 3 csv lines, got %d" (List.length lines)
+
+(* ---- wiring through the stack ------------------------------------- *)
+
+(* Small Aquila microbenchmark: cache smaller than the file so faults
+   miss, evict and hit the device — touching every instrumented layer. *)
+let run_workload () =
+  let eng = Sim.Engine.create () in
+  let stack =
+    Experiments.Scenario.make_aquila ~frames:64 ~dev:Experiments.Scenario.Pmem
+      ()
+  in
+  ignore
+    (Experiments.Microbench.run ~eng
+       ~sys:(Experiments.Microbench.Aq stack)
+       ~file_pages:256 ~shared:true ~threads:4 ~ops_per_thread:200 ~seed:11 ())
+
+let traced_json () =
+  ignore (Trace.start ~capacity_per_core:16384 ());
+  run_workload ();
+  let tr = Option.get (Trace.stop ()) in
+  Trace.chrome_json tr
+
+let chrome_json_wellformed () =
+  let doc = parse_json (traced_json ()) in
+  let events =
+    match field "traceEvents" doc with
+    | Some (J_list l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 100);
+  (* every record carries the required Chrome fields *)
+  List.iter
+    (fun e ->
+      (match str_field "ph" e with
+      | Some (("X" | "i") as ph) ->
+          (* spans and instants live on a (process, thread) track *)
+          Alcotest.(check bool) (ph ^ " ts") true (num_field "ts" e <> None);
+          Alcotest.(check bool) (ph ^ " tid") true (num_field "tid" e <> None)
+      | Some "C" ->
+          Alcotest.(check bool) "C ts" true (num_field "ts" e <> None)
+      | Some "M" -> ()
+      | _ -> Alcotest.fail "bad or missing ph");
+      Alcotest.(check bool) "pid" true (num_field "pid" e <> None);
+      Alcotest.(check bool) "name" true (str_field "name" e <> None))
+    events;
+  (* real events are emitted in nondecreasing virtual-time order *)
+  let ts_order =
+    List.filter_map
+      (fun e ->
+        match str_field "ph" e with
+        | Some "M" -> None
+        | _ -> num_field "ts" e)
+      events
+  in
+  let rec monotone = function
+    | a :: (b :: _ as tl) -> a <= b && monotone tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "ts monotone" true (monotone ts_order);
+  (* spans from all the major subsystems are present *)
+  let cats =
+    List.filter_map (fun e -> str_field "cat" e) events
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Printf.sprintf "cat %s present" c) true
+        (List.mem c cats))
+    [ "engine"; "hw"; "mcache"; "sdevice"; "aquila" ]
+
+let disabled_emits_nothing () =
+  Alcotest.(check bool) "tracing off" false (Trace.on ());
+  Alcotest.(check bool) "no ambient tracer" true (Trace.current () = None);
+  (* a tracer that exists but is not installed must stay empty *)
+  let bystander = Trace.create () in
+  run_workload ();
+  checki "no events recorded" 0 (Trace.events_count bystander);
+  checki "none dropped" 0 (Trace.dropped bystander);
+  Alcotest.(check bool) "still off" false (Trace.on ())
+
+let export_deterministic () =
+  let a = traced_json () in
+  let b = traced_json () in
+  Alcotest.(check bool) "byte-identical same-seed export" true (String.equal a b)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "ring overflow" `Quick ring_overflow_drops;
+          Alcotest.test_case "core clamping" `Quick core_clamping;
+          Alcotest.test_case "summary" `Quick summary_aggregates;
+          Alcotest.test_case "csv" `Quick csv_shape;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "chrome json well-formed" `Quick
+            chrome_json_wellformed;
+          Alcotest.test_case "disabled emits nothing" `Quick
+            disabled_emits_nothing;
+          Alcotest.test_case "deterministic export" `Quick export_deterministic;
+        ] );
+    ]
