@@ -75,7 +75,7 @@ let memcpy () =
       [ "AVX2 + FPU save/restore"; Stats.Table_fmt.kcycles simd; "" ];
       [ "scalar (kernel-style)"; Stats.Table_fmt.kcycles scalar; "" ];
     ];
-  Printf.printf "paper: 1200 vs 2400 cycles for the 4KB copy itself (2x)\n"
+  Sim.Sink.printf "paper: 1200 vs 2400 cycles for the 4KB copy itself (2x)\n"
 
 let readahead () =
   (* sequential scan over a mapped file on NVMe, with and without the
@@ -155,8 +155,15 @@ let uring () =
         Stats.Table_fmt.speedup (host /. spdk) ];
     ]
 
-let run_all () =
-  tlb_and_batching ();
-  memcpy ();
-  readahead ();
-  uring ()
+(* Exposed as fan-out jobs so bench/main can spread them over domains;
+   each job is self-contained (tlb_and_batching resets the domain-local
+   IPI counters itself). *)
+let jobs =
+  [
+    Experiments.Fanout.job ~name:"ablation-tlb-batching" tlb_and_batching;
+    Experiments.Fanout.job ~name:"ablation-memcpy" memcpy;
+    Experiments.Fanout.job ~name:"ablation-readahead" readahead;
+    Experiments.Fanout.job ~name:"ablation-uring" uring;
+  ]
+
+let run_all () = Experiments.Fanout.run ~jobs:1 jobs

@@ -1,14 +1,42 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation, runs the ablation benches from DESIGN.md §5, and times the
-   core substrate data structures with Bechamel. *)
+   core substrate data structures with Bechamel.
+
+   --jobs N (or BENCH_JOBS=N) fans the experiments, ablations and sweeps
+   out over N OCaml domains; per-job seeds and domain-local ambient state
+   keep every result — and the output bytes — identical to a sequential
+   run.  The Bechamel wall-clock microbenchmarks stay sequential so their
+   timings are not perturbed by sibling domains. *)
+
+let jobs_of_argv () =
+  let jobs = ref 1 in
+  (match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n -> jobs := n | None -> ())
+  | None -> ());
+  let argv = Sys.argv in
+  for i = 1 to Array.length argv - 1 do
+    match argv.(i) with
+    | "--jobs" | "-j" when i + 1 < Array.length argv -> (
+        match int_of_string_opt argv.(i + 1) with
+        | Some n -> jobs := n
+        | None -> ())
+    | s when String.length s > 7 && String.sub s 0 7 = "--jobs=" -> (
+        match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+        | Some n -> jobs := n
+        | None -> ())
+    | _ -> ()
+  done;
+  max 1 !jobs
 
 let () =
+  let jobs = jobs_of_argv () in
   Printf.printf "=== Aquila (EuroSys '21) reproduction benchmark harness ===\n";
   Printf.printf "%s\n" Experiments.Scenario.scale_note;
-  Experiments.Registry.run_all ();
+  if jobs > 1 then Printf.printf "(fan-out: up to %d parallel domains)\n" jobs;
+  Experiments.Registry.run_all ~jobs ();
   Printf.printf "\n### Ablations (DESIGN.md section 5)\n%!";
-  Ablations.run_all ();
+  Experiments.Fanout.run ~jobs Ablations.jobs;
   Printf.printf "\n### Sensitivity sweeps (beyond the paper's fixed points)\n%!";
-  Sweeps.run_all ();
+  Experiments.Fanout.run ~jobs Sweeps.jobs;
   Printf.printf "\n### Substrate microbenchmarks (Bechamel, wall-clock of the simulator's own data structures)\n%!";
   Micro_bechamel.run ()

@@ -87,7 +87,7 @@ let test_pqueue =
     (Staged.stage (fun () ->
          let q = Sim.Pqueue.create () in
          for i = 0 to 255 do
-           Sim.Pqueue.push q ~time:(Int64.of_int ((i * 131) mod 997)) ~seq:i i
+           Sim.Pqueue.push q ~time:((i * 131) mod 997) ~seq:i i
          done;
          let rec drain () = match Sim.Pqueue.pop q with Some _ -> drain () | None -> () in
          drain ()))

@@ -111,7 +111,11 @@ let readahead_sweep () =
       [ "32 (MADV_SEQUENTIAL)"; Printf.sprintf "%.2f ms" (run 32) ];
     ]
 
-let run_all () =
-  cache_size_sweep ();
-  evict_batch_sweep ();
-  readahead_sweep ()
+let jobs =
+  [
+    Experiments.Fanout.job ~name:"sweep-cache-size" cache_size_sweep;
+    Experiments.Fanout.job ~name:"sweep-evict-batch" evict_batch_sweep;
+    Experiments.Fanout.job ~name:"sweep-readahead" readahead_sweep;
+  ]
+
+let run_all () = Experiments.Fanout.run ~jobs:1 jobs

@@ -1,9 +1,17 @@
 (* Tracing-overhead smoke test.
 
    With no tracer installed every probe in the simulator reduces to one
-   flag load and a conditional branch.  This bench measures that residual
-   cost against the simulator's real work and fails if it exceeds the
-   budget (1% by default; override with TRACE_SMOKE_MAX=0.02 etc.).
+   flag load and a conditional branch.  This bench gates that residual
+   cost two ways:
+
+   - absolute: the per-call cost of a disabled probe must stay under
+     TRACE_SMOKE_MAX_NS (default 10 ns; ~4.7 ns measured) — this is the
+     invariant that catches a probe-path regression;
+   - relative: probe cost x probe count over the workload's wall time
+     must stay under TRACE_SMOKE_MAX (default 2%).  The relative bar
+     moves whenever the engine itself speeds up — the event fast path
+     roughly halved the workload's wall time with the probe cost
+     unchanged, which is why the default is 2% where it used to be 1%.
 
    Method: the workload's probe-site count E is obtained by running it
    once under a tracer (retained + dropped events); the per-call cost c
@@ -30,7 +38,12 @@ let () =
   let budget =
     match Sys.getenv_opt "TRACE_SMOKE_MAX" with
     | Some s -> float_of_string s
-    | None -> 0.01
+    | None -> 0.02
+  in
+  let budget_ns =
+    match Sys.getenv_opt "TRACE_SMOKE_MAX_NS" with
+    | Some s -> float_of_string s
+    | None -> 10.
   in
   ignore (workload ());
   (* count the probe sites the workload hits *)
@@ -59,9 +72,14 @@ let () =
   let per_call = !best_probe /. float_of_int calls in
   let overhead = per_call *. float_of_int events /. !best in
   Printf.printf
-    "trace smoke: %d probe events, %.2f ns/disabled-probe, workload %.3f s -> \
-     overhead %.4f%% (budget %.2f%%)\n"
-    events (per_call *. 1e9) !best (overhead *. 100.) (budget *. 100.);
+    "trace smoke: %d probe events, %.2f ns/disabled-probe (budget %.1f ns), \
+     workload %.3f s -> overhead %.4f%% (budget %.2f%%)\n"
+    events (per_call *. 1e9) budget_ns !best (overhead *. 100.)
+    (budget *. 100.);
+  if per_call *. 1e9 >= budget_ns then begin
+    Printf.printf "FAIL: disabled-probe cost above absolute budget\n";
+    exit 1
+  end;
   if overhead >= budget then begin
     Printf.printf "FAIL: disabled-tracing overhead above budget\n";
     exit 1

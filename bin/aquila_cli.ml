@@ -13,14 +13,9 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_entries entries =
-  Printf.printf "Aquila reproduction — %s\n" Experiments.Scenario.scale_note;
-  List.iter
-    (fun (e : Experiments.Registry.entry) ->
-      Printf.printf "\n### %s: %s\n%!" e.Experiments.Registry.id
-        e.Experiments.Registry.title;
-      e.Experiments.Registry.run ())
-    entries
+let run_entries ?jobs entries =
+  Printf.printf "Aquila reproduction — %s\n%!" Experiments.Scenario.scale_note;
+  Experiments.Registry.run_selected ?jobs entries
 
 let resolve id =
   if id = "all" then Ok Experiments.Registry.all
@@ -37,6 +32,15 @@ let trace_out_arg =
         ~doc:"Record a virtual-time trace and write Chrome Trace Event JSON \
               to $(docv) (open in Perfetto or chrome://tracing).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Run up to $(docv) experiments in parallel (OCaml domains). \
+              Each experiment owns its engine, RNG and seeds, so results \
+              and output bytes are identical to a sequential run.")
+
 let run_cmd =
   let doc = "Run one experiment (or 'all')." in
   let id =
@@ -45,15 +49,25 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see 'list'), or 'all'.")
   in
-  let run id trace_out =
+  let run id trace_out jobs =
     match resolve id with
     | Error msg -> `Error (false, msg)
+    | Ok _ when jobs < 1 -> `Error (true, "--jobs must be >= 1")
     | Ok entries ->
+        (* The ambient tracer is domain-local: worker domains would record
+           nothing, so tracing forces a sequential run. *)
+        let jobs =
+          if trace_out <> None && jobs > 1 then begin
+            Printf.eprintf "aquila_cli: --trace forces --jobs 1\n%!";
+            1
+          end
+          else jobs
+        in
         Experiments.Scenario.with_trace ?out:trace_out (fun () ->
-            run_entries entries);
+            run_entries ~jobs entries);
         `Ok ()
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id $ trace_out_arg))
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id $ trace_out_arg $ jobs_arg))
 
 let trace_cmd =
   let doc = "Run an experiment under the tracer and export the trace." in

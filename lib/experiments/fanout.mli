@@ -1,0 +1,17 @@
+(** Multicore experiment fan-out over OCaml 5 domains.
+
+    Each job owns its engine/RNG/tracer; ambient simulator state
+    (tracer, IPI counters, output sink) is domain-local, so jobs are
+    fully isolated and per-job results are identical to a sequential
+    run.  Output is captured per job and printed in job order, making
+    stdout byte-identical regardless of the parallelism degree. *)
+
+type job = { jname : string; jrun : unit -> unit }
+
+val job : name:string -> (unit -> unit) -> job
+
+val run : ?jobs:int -> job list -> unit
+(** [run ~jobs js] executes [js] on up to [jobs] domains ([jobs <= 1]
+    runs sequentially, streaming output directly).  If any job raised,
+    the first exception (in job order) is re-raised after every job's
+    output has been printed. *)

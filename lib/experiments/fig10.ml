@@ -65,11 +65,11 @@ let run_case ~fits ~title ~paper_note =
            Stats.Table_fmt.speedup (ap.thr /. lp.thr);
          ])
        rows);
-  Printf.printf "%s\n" paper_note;
+  Sim.Sink.printf "%s\n" paper_note;
   (* latency detail at the extremes, as reported in Section 6.5 *)
   (match (List.nth_opt rows 0, List.nth_opt rows (List.length rows - 1)) with
   | Some (t1, ls1, as1, _, _), Some (tn, lsn, asn, lpn, apn) ->
-      Printf.printf
+      Sim.Sink.printf
         "latency shared file: %d thr avg %.2fx, p99 %.2fx, p99.9 %.2fx lower; %d thr \
          avg %.2fx, p99 %.2fx, p99.9 %.2fx lower\n"
         t1 (ls1.avg /. as1.avg)
@@ -78,7 +78,7 @@ let run_case ~fits ~title ~paper_note =
         tn (lsn.avg /. asn.avg)
         (lsn.p99 /. asn.p99)
         (lsn.p999 /. asn.p999);
-      Printf.printf
+      Sim.Sink.printf
         "latency private files at %d thr: avg %.2fx, p99 %.2fx, p99.9 %.2fx lower\n" tn
         (lpn.avg /. apn.avg)
         (lpn.p99 /. apn.p99)

@@ -121,7 +121,7 @@ let run_panel ~records ~fits ~title ~paper_note =
     ~header:
       [ "device"; "threads"; "read/write"; "mmap"; "Aquila"; "Aq/rw"; "Aq/mmap" ]
     rows;
-  Printf.printf "%s\n" paper_note;
+  Sim.Sink.printf "%s\n" paper_note;
   all
 
 let run_a () =

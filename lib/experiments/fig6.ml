@@ -96,9 +96,9 @@ let run_one ~cfg ~frames ~threads =
   let u, s, i =
     List.fold_left
       (fun (u, s, i) (c : Sim.Engine.ctx) ->
-        ( Int64.add u c.Sim.Engine.user,
-          Int64.add s c.Sim.Engine.sys,
-          Int64.add i c.Sim.Engine.idle ))
+        ( Int64.add u (Int64.of_int c.Sim.Engine.user),
+          Int64.add s (Int64.of_int c.Sim.Engine.sys),
+          Int64.add i (Int64.of_int c.Sim.Engine.idle) ))
       (0L, 0L, 0L) r.Ligra.Bfs.thread_ctxs
   in
   let tot = Int64.to_float (Int64.add (Int64.add u s) i) in
@@ -156,7 +156,7 @@ let run_a () =
     run_panel ~frames:frames_small
       ~title:"Figure 6(a): Ligra BFS execution time, cache = heap/8 (paper: 8GB)"
   in
-  Printf.printf
+  Sim.Sink.printf
     "paper: Aquila vs mmap (pmem) 1.56x @1thr, 2.54x @8thr, 4.14x @16thr; gap to \
      DRAM-only closes to 2.8-3.2x\n";
   ignore cells
@@ -165,7 +165,7 @@ let run_b () =
   ignore
     (run_panel ~frames:frames_large
        ~title:"Figure 6(b): Ligra BFS execution time, cache = heap/4 (paper: 16GB)");
-  Printf.printf "paper: up to 2.3x over mmap at 16 threads with the larger cache\n"
+  Sim.Sink.printf "paper: up to 2.3x over mmap at 16 threads with the larger cache\n"
 
 let run_c () =
   let frames = frames_small and threads = 16 in
@@ -186,6 +186,6 @@ let run_c () =
     ~title:"Figure 6(c): Ligra BFS time breakdown (16 threads, small cache)"
     ~header:[ "config"; "user"; "system"; "idle"; "exec time" ]
     rows;
-  Printf.printf
+  Sim.Sink.printf
     "paper (pmem): mmap 10.6%% user / 61.8%% system; Aquila 55.9%% user / 43.8%% \
      system, 8.31x lower system+idle time\n"

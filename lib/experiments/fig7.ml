@@ -55,11 +55,11 @@ let run () =
        threads)"
     ~header:[ "configuration"; "device I/O"; "cache mgmt"; "get"; "total" ]
     [ urow; arow ];
-  Printf.printf
+  Sim.Sink.printf
     "paper: user cache 65.4K cycles/op (I/O 4.8K, cache mgmt 45.2K, get 15.3K); \
      Aquila (I/O 3.9K, cache mgmt 17.5K, get 18.5K); 2.58x fewer cache-mgmt \
      cycles, 69%% -> 43.7%% of CPU on I/O\n";
-  Printf.printf
+  Sim.Sink.printf
     "measured: cache-mgmt ratio %.2fx; cache-mgmt share %.1f%% -> %.1f%%\n"
     (ucache /. acache)
     (100. *. ucache /. utotal)

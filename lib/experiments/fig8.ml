@@ -65,10 +65,10 @@ let run_a () =
   in
   let lt = total linux.Microbench.breakdown (max 1 linux.Microbench.faults) in
   let at = total aquila.Microbench.breakdown (max 1 aquila.Microbench.faults) in
-  Printf.printf
+  Sim.Sink.printf
     "paper: Linux fault ~5380 cycles (trap 24%%, I/O 49%%); Aquila trap 552 vs 1287 \
      cycles (2.33x); fault latency -45.3%%\n";
-  Printf.printf "measured: fault latency reduction %.1f%% (Linux %.0f vs Aquila %.0f cycles)\n"
+  Sim.Sink.printf "measured: fault latency reduction %.1f%% (Linux %.0f vs Aquila %.0f cycles)\n"
     (100. *. (1. -. (at /. lt)))
     lt at
 
@@ -97,8 +97,8 @@ let run_b () =
   let tot (r : Microbench.result) =
     Int64.to_float r.Microbench.elapsed_cycles /. float_of_int (max 1 r.Microbench.ops)
   in
-  Printf.printf "paper: Aquila 2.06x lower overhead than Linux mmap\n";
-  Printf.printf "measured: %.2fx (Linux %.0f vs Aquila %.0f cycles/op)\n"
+  Sim.Sink.printf "paper: Aquila 2.06x lower overhead than Linux mmap\n";
+  Sim.Sink.printf "measured: %.2fx (Linux %.0f vs Aquila %.0f cycles/op)\n"
     (tot linux /. tot aquila) (tot linux) (tot aquila)
 
 (* (c) device-access methods inside Aquila. *)
@@ -179,12 +179,12 @@ let run_c () =
   let base = match List.assoc_opt "Cache-Hit" rows with Some b -> b | None -> 0. in
   (match (List.assoc_opt "DAX-pmem" rows, List.assoc_opt "HOST-pmem" rows) with
   | Some d, Some h ->
-      Printf.printf "paper: HOST-pmem / DAX-pmem I/O overhead = 7.77x; measured: %.2fx\n"
+      Sim.Sink.printf "paper: HOST-pmem / DAX-pmem I/O overhead = 7.77x; measured: %.2fx\n"
         ((h -. base) /. (d -. base))
   | _ -> ());
   match (List.assoc_opt "SPDK-NVMe" rows, List.assoc_opt "HOST-NVMe" rows) with
   | Some s, Some h ->
-      Printf.printf "paper: HOST-NVMe / SPDK-NVMe = 1.53x; measured: %.2fx (net %.2fx)\n"
+      Sim.Sink.printf "paper: HOST-NVMe / SPDK-NVMe = 1.53x; measured: %.2fx (net %.2fx)\n"
         (h /. s) ((h -. base) /. (s -. base))
   | _ -> ()
 

@@ -77,12 +77,12 @@ let run () =
       List.fold_left (fun acc (_, _, t) -> acc +. f t) 0. rows
       /. float_of_int (List.length rows)
     in
-    Printf.printf "geometric-ish mean: thr %.2fx, avg latency %.2fx, p99.9 %.2fx\n"
+    Sim.Sink.printf "geometric-ish mean: thr %.2fx, avg latency %.2fx, p99.9 %.2fx\n"
       (avg (fun (t, _, _) -> t))
       (avg (fun (_, l, _) -> l))
       (avg (fun (_, _, p) -> p))
   in
   run_dev Scenario.Nvme;
-  Printf.printf "paper (NVMe): ~1.02x throughput (device-bound), 1.29x avg, 3.78x p99.9\n";
+  Sim.Sink.printf "paper (NVMe): ~1.02x throughput (device-bound), 1.29x avg, 3.78x p99.9\n";
   run_dev Scenario.Pmem;
-  Printf.printf "paper (pmem): 1.22x throughput, 1.43x avg, 13.72x p99.9\n"
+  Sim.Sink.printf "paper (pmem): 1.22x throughput, 1.43x avg, 13.72x p99.9\n"

@@ -29,10 +29,17 @@ let find_prefix id =
   | Some e -> [ e ]
   | None -> List.filter (fun e -> String.starts_with ~prefix:id e.id) all
 
-let run_all () =
-  Printf.printf "Aquila reproduction — %s\n" Scenario.scale_note;
-  List.iter
-    (fun e ->
-      Printf.printf "\n### %s: %s\n%!" e.id e.title;
-      e.run ())
-    all
+(* Each entry becomes one fan-out job that prints its own header, so the
+   aggregate output is byte-identical at any parallelism degree. *)
+let run_selected ?(jobs = 1) entries =
+  Fanout.run ~jobs
+    (List.map
+       (fun e ->
+         Fanout.job ~name:e.id (fun () ->
+             Sim.Sink.printf "\n### %s: %s\n" e.id e.title;
+             e.run ()))
+       entries)
+
+let run_all ?jobs () =
+  Sim.Sink.printf "Aquila reproduction — %s\n" Scenario.scale_note;
+  run_selected ?jobs all

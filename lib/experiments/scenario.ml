@@ -155,7 +155,7 @@ let with_trace ?(buffer_per_core = 4096) ?out ?csv ?summary f =
             (match out with
             | Some path ->
                 Trace.write_chrome_json tr path;
-                Printf.printf "trace: %d events (%d dropped) -> %s\n%!"
+                Sim.Sink.printf "trace: %d events (%d dropped) -> %s\n%!"
                   (Trace.events_count tr) (Trace.dropped tr) path
             | None -> ());
             (match csv with Some path -> Trace.write_csv tr path | None -> ());

@@ -1,6 +1,8 @@
 type send_mode = Posted | Vmexit_send | Kernel_ipi
 
-let sent = ref 0
+(* Domain-local so parallel experiment fan-out keeps counters isolated. *)
+let sent_key = Domain.DLS.new_key (fun () -> ref 0)
+let sent () = Domain.DLS.get sent_key
 
 let send_cost (c : Costs.t) = function
   | Posted -> c.ipi_send_posted
@@ -12,7 +14,7 @@ let shootdown m (c : Costs.t) ~mode ~src ~targets ~vpns =
   match targets with
   | [] -> 0L
   | _ :: _ ->
-      incr sent;
+      incr (sent ());
       let npages = List.length vpns in
       if Trace.on () then begin
         Sim.Probe.instant ~cat:"hw"
@@ -43,5 +45,5 @@ let shootdown m (c : Costs.t) ~mode ~src ~targets ~vpns =
          the slowest ack; receivers proceed in parallel. *)
       Int64.add (send_cost c mode) per_receiver
 
-let shootdowns_sent () = !sent
-let reset_counters () = sent := 0
+let shootdowns_sent () = !(sent ())
+let reset_counters () = sent () := 0

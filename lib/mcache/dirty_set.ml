@@ -43,7 +43,7 @@ let drain_sorted t ?file ?limit () =
         !taken;
       all := !taken @ !all)
     t.trees;
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !all in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) !all in
   let sorted =
     match limit with
     | None -> sorted
@@ -65,4 +65,4 @@ let drain_sorted t ?file ?limit () =
   in
   (sorted, !cost)
 
-let mem t ~key ~core = Itree.find t.trees.(core) key <> None
+let mem t ~key ~core = Option.is_some (Itree.find t.trees.(core) key)

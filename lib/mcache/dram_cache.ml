@@ -57,6 +57,7 @@ type t = {
   mutable shoot_cores : int list;
   mutable seeded : int;
   mutable retired_frames : int list;
+  mutable retired_count : int; (* List.length retired_frames, maintained *)
   mutable s_fault_hits : int;
   mutable s_misses : int;
   mutable s_evictions : int;
@@ -103,6 +104,7 @@ let create ~costs ~machine ~page_table cfg =
       shoot_cores = [];
       seeded = 0;
       retired_frames = [];
+      retired_count = 0;
       s_fault_hits = 0;
       s_misses = 0;
       s_evictions = 0;
@@ -121,7 +123,7 @@ let create ~costs ~machine ~page_table cfg =
   t
 
 let config t = t.cfg
-let frames_total t = t.seeded - List.length t.retired_frames
+let frames_total t = t.seeded - t.retired_count
 let free_frames t = Freelist.free_count t.fl
 
 let register_file t ~file_id ~access ~translate =
@@ -159,7 +161,7 @@ let invalidate_mappings t ~core ~vpns buf =
 let writeback_frames t frames buf =
   let c = t.costs in
   let wb0 = Sim.Probe.span_start () in
-  let items = List.sort (fun (a : frame) b -> compare a.key b.key) frames in
+  let items = List.sort (fun (a : frame) b -> Int.compare a.key b.key) frames in
   let flush_run file dev_start run =
     match run with
     | [] -> ()
@@ -565,6 +567,7 @@ let grow t ~frames =
     (match t.retired_frames with
     | fno :: rest ->
         t.retired_frames <- rest;
+        t.retired_count <- t.retired_count - 1;
         t.arr.(fno).retired <- false;
         Freelist.add_frame t.fl ~node:(fno mod nodes) fno
     | [] ->
@@ -584,6 +587,7 @@ let shrink t ~frames =
     | Some fno ->
         t.arr.(fno).retired <- true;
         t.retired_frames <- fno :: t.retired_frames;
+        t.retired_count <- t.retired_count + 1;
         incr retired
     | None ->
         let buf = Sim.Costbuf.create () in

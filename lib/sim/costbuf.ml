@@ -1,22 +1,55 @@
-type t = { tbl : (string, int64) Hashtbl.t; mutable sum : int64 }
+(* A costbuf holds a handful of distinct labels (the fault path uses ~6),
+   so a flat array scanned with a physical-equality check — call sites
+   pass literals — beats hashing.  Cycles accumulate as unboxed ints. *)
 
-let create () = { tbl = Hashtbl.create 8; sum = 0L }
+type t = {
+  mutable keys : string array;
+  mutable vals : int array;
+  mutable len : int;
+  mutable sum : int;
+}
+
+let create () = { keys = Array.make 8 ""; vals = Array.make 8 0; len = 0; sum = 0 }
 
 let add t label c =
-  if Int64.compare c 0L > 0 then begin
-    let cur = try Hashtbl.find t.tbl label with Not_found -> 0L in
-    Hashtbl.replace t.tbl label (Int64.add cur c);
-    t.sum <- Int64.add t.sum c
+  let c = Int64.to_int c in
+  if c > 0 then begin
+    t.sum <- t.sum + c;
+    let keys = t.keys in
+    let n = t.len in
+    let i = ref 0 in
+    while
+      !i < n && not (keys.(!i) == label || String.equal keys.(!i) label)
+    do
+      incr i
+    done;
+    if !i < n then t.vals.(!i) <- t.vals.(!i) + c
+    else begin
+      if n = Array.length keys then begin
+        let nk = Array.make (2 * n) "" and nv = Array.make (2 * n) 0 in
+        Array.blit t.keys 0 nk 0 n;
+        Array.blit t.vals 0 nv 0 n;
+        t.keys <- nk;
+        t.vals <- nv
+      end;
+      t.keys.(n) <- label;
+      t.vals.(n) <- c;
+      t.len <- n + 1
+    end
   end
 
-let total t = t.sum
+let total t = Int64.of_int t.sum
 
-let labels t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+let labels t =
+  List.init t.len (fun i -> (t.keys.(i), Int64.of_int t.vals.(i)))
 
 let charge ?(cat = Engine.Sys) t =
-  if Int64.compare t.sum 0L > 0 then begin
-    Hashtbl.iter (fun label c -> Engine.label_add label c) t.tbl;
-    Engine.delay ~cat t.sum;
-    Hashtbl.reset t.tbl;
-    t.sum <- 0L
+  if t.sum > 0 then begin
+    let ctx = Engine.self () in
+    for i = 0 to t.len - 1 do
+      Engine.ctx_label_add ctx t.keys.(i) t.vals.(i)
+    done;
+    Engine.delay ~cat (Int64.of_int t.sum);
+    t.len <- 0;
+    t.sum <- 0
   end

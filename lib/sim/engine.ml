@@ -1,49 +1,143 @@
 type category = User | Sys
 
+(* Engine-wide label interning: cost labels (string literals at call
+   sites) map to dense small ids, so per-delay accounting is one array
+   add instead of a Hashtbl find+replace.  [last]/[last_id] memoize the
+   previous label by physical equality — hot loops charge the same
+   literal repeatedly, so the common case is a single pointer compare. *)
+type interns = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n : int;
+  mutable last : string;
+  mutable last_id : int;
+}
+
+let interns_create () =
+  { ids = Hashtbl.create 32; names = Array.make 16 ""; n = 0; last = ""; last_id = -1 }
+
+(* Call sites pass string literals, and each call site's literal is one
+   allocation — so a physical-equality scan over the (small, first-use
+   ordered) names array resolves hot labels without hashing.  The
+   Hashtbl handles equal-but-distinct strings and keeps the scan bounded. *)
+let intern it l =
+  if l == it.last then it.last_id
+  else begin
+    let id =
+      let names = it.names in
+      let lim = if it.n < 48 then it.n else 48 in
+      let i = ref 0 in
+      while !i < lim && not (names.(!i) == l) do
+        incr i
+      done;
+      if !i < lim then !i
+      else
+        match Hashtbl.find_opt it.ids l with
+        | Some id -> id
+        | None ->
+            let id = it.n in
+            if id = Array.length it.names then begin
+              let nn = Array.make (2 * id) "" in
+              Array.blit it.names 0 nn 0 id;
+              it.names <- nn
+            end;
+            it.names.(id) <- l;
+            Hashtbl.add it.ids l id;
+            it.n <- id + 1;
+            id
+    in
+    it.last <- l;
+    it.last_id <- id;
+    id
+  end
+
 type ctx = {
   fid : int;
   name : string;
   mutable core : int;
   daemon : bool;
-  mutable user : int64;
-  mutable sys : int64;
-  mutable idle : int64;
-  labels : (string, int64) Hashtbl.t;
+  mutable user : int;
+  mutable sys : int;
+  mutable idle : int;
+  mutable lab : int array; (* cycles per interned label id (internal) *)
+  it : interns; (* owning engine's intern table (internal) *)
 }
 
+let ctx_bump ctx id c =
+  let n = Array.length ctx.lab in
+  if id >= n then begin
+    let nn = Array.make (max 16 (max (2 * n) (id + 1))) 0 in
+    Array.blit ctx.lab 0 nn 0 n;
+    ctx.lab <- nn
+  end;
+  ctx.lab.(id) <- ctx.lab.(id) + c
+
+let labels ctx =
+  let it = ctx.it in
+  let out = ref [] in
+  let n = min it.n (Array.length ctx.lab) in
+  for id = n - 1 downto 0 do
+    if ctx.lab.(id) <> 0 then
+      out := (it.names.(id), Int64.of_int ctx.lab.(id)) :: !out
+  done;
+  !out
+
+let label_get ctx l =
+  match Hashtbl.find_opt ctx.it.ids l with
+  | Some id when id < Array.length ctx.lab -> Int64.of_int ctx.lab.(id)
+  | _ -> 0L
+
 type t = {
-  mutable now : int64;
+  mutable now : int; (* virtual cycles; fits in 62 bits *)
   mutable seq : int;
   q : (unit -> unit) Pqueue.t;
   mutable current : ctx option;
   mutable live : int;
   mutable next_fid : int;
   mutable nevents : int;
+  fastpath : bool;
+  mutable pending : (unit, unit) Effect.Deep.continuation option;
+      (* fast-path trampoline: a delay whose wake-up provably precedes
+         every queued event skips the queue; the run loop continues it
+         directly, keeping the native stack flat *)
   engine_rng : Rng.t;
   blocked : (int, ctx) Hashtbl.t; (* fibers parked in Suspend, by fid *)
+  it : interns;
 }
 
 type _ Effect.t +=
-  | Delay : category * string option * int64 -> unit Effect.t
+  | Delay : category * string option * int -> unit Effect.t
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
-  | Timed_wait : int64 -> unit Effect.t
+  | Timed_wait : int -> unit Effect.t
   | Self : ctx Effect.t
   | Now : int64 Effect.t
 
-let create ?(seed = 42) () =
+(* Ambient engine of the executing domain, maintained by [run].  Pure
+   reads from fiber code (self, now_f, label_add) resolve through it as
+   plain loads; performing an effect for them would capture and resume a
+   continuation per call, which dominates the cost of hot accounting
+   loops like [Costbuf.charge].  The effects above stay as the fallback
+   so the reads still work under a foreign handler (e.g. in tests that
+   drive fibers manually). *)
+let ambient_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let create ?(seed = 42) ?(fastpath = true) () =
   {
-    now = 0L;
+    now = 0;
     seq = 0;
     q = Pqueue.create ();
     current = None;
     live = 0;
     next_fid = 0;
     nevents = 0;
+    fastpath;
+    pending = None;
     engine_rng = Rng.create seed;
     blocked = Hashtbl.create 64;
+    it = interns_create ();
   }
 
-let now t = t.now
+let now t = Int64.of_int t.now
 let rng t = t.engine_rng
 let events t = t.nevents
 let live_fibers t = t.live
@@ -52,35 +146,34 @@ let blocked_fibers t =
   Hashtbl.fold
     (fun _ ctx acc -> if ctx.daemon then acc else ctx :: acc)
     t.blocked []
-  |> List.sort (fun a b -> compare a.fid b.fid)
+  |> List.sort (fun a b -> Int.compare a.fid b.fid)
   |> List.map (fun ctx -> (ctx.core, ctx.name))
 
-(* Tracing: every hook is behind [Trace.on] so the disabled path is one
-   load and branch per site. *)
+(* Tracing: every hook is behind a [Trace.live_tracers] check so the
+   disabled path is one plain load and branch per site. *)
 let trace_span ~ts ~dur ~cat ctx name =
   match Trace.current () with
-  | Some tr -> Trace.span tr ~ts ~dur ~core:ctx.core ~fiber:ctx.fid ~cat name
+  | Some tr ->
+      Trace.span tr ~ts:(Int64.of_int ts) ~dur:(Int64.of_int dur) ~core:ctx.core
+        ~fiber:ctx.fid ~cat name
   | None -> ()
 
 let trace_instant ~ts ~cat ctx name =
   match Trace.current () with
-  | Some tr -> Trace.instant tr ~ts ~core:ctx.core ~fiber:ctx.fid ~cat name
+  | Some tr ->
+      Trace.instant tr ~ts:(Int64.of_int ts) ~core:ctx.core ~fiber:ctx.fid ~cat
+        name
   | None -> ()
 
 let schedule t ~at thunk =
-  let at = if Int64.compare at t.now < 0 then t.now else at in
+  let at = if at < t.now then t.now else at in
   t.seq <- t.seq + 1;
   Pqueue.push t.q ~time:at ~seq:t.seq thunk
 
-let bump tbl label c =
-  match label with
-  | None -> ()
-  | Some l ->
-      let cur = try Hashtbl.find tbl l with Not_found -> 0L in
-      Hashtbl.replace tbl l (Int64.add cur c)
-
 (* Run [f] as a fiber under the engine's effect handler.  Suspension points
-   capture the continuation and schedule it back through the event queue. *)
+   capture the continuation and schedule it back through the event queue —
+   except delays that would run next anyway, which park in [t.pending] for
+   the run loop to continue without a queue round-trip. *)
 let run_fiber t ctx f =
   let open Effect.Deep in
   match_with f ()
@@ -88,7 +181,7 @@ let run_fiber t ctx f =
       retc =
         (fun () ->
           if not ctx.daemon then t.live <- t.live - 1;
-          if Trace.on () then trace_instant ~ts:t.now ~cat:"engine" ctx "exit");
+          if Atomic.get Trace.live_tracers > 0 then trace_instant ~ts:t.now ~cat:"engine" ctx "exit");
       exnc = raise;
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -96,28 +189,50 @@ let run_fiber t ctx f =
           | Delay (cat, label, c) ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  let c = if Int64.compare c 0L < 0 then 0L else c in
+                  let c = if c < 0 then 0 else c in
                   (match cat with
-                  | User -> ctx.user <- Int64.add ctx.user c
-                  | Sys -> ctx.sys <- Int64.add ctx.sys c);
-                  bump ctx.labels label c;
-                  (if Trace.on () then
+                  | User -> ctx.user <- ctx.user + c
+                  | Sys -> ctx.sys <- ctx.sys + c);
+                  (match label with
+                  | None -> ()
+                  | Some l -> ctx_bump ctx (intern t.it l) c);
+                  (if Atomic.get Trace.live_tracers > 0 then
                      match label with
                      | Some l -> trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx l
                      | None -> ());
-                  schedule t ~at:(Int64.add t.now c) (fun () ->
-                      t.current <- Some ctx;
-                      continue k ()))
+                  let at = t.now + c in
+                  t.seq <- t.seq + 1;
+                  (* Fast path: nothing queued can run before (at, seq) —
+                     the head is strictly later (ties lose: an equal-time
+                     head has a smaller seq).  Advance the clock and hand
+                     the continuation straight back to the run loop. *)
+                  if t.fastpath && Pqueue.min_time t.q > at then begin
+                    t.now <- at;
+                    t.current <- Some ctx;
+                    t.pending <- Some k
+                  end
+                  else
+                    Pqueue.push t.q ~time:at ~seq:t.seq (fun () ->
+                        t.current <- Some ctx;
+                        continue k ()))
           | Timed_wait c ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  let c = if Int64.compare c 0L < 0 then 0L else c in
-                  ctx.idle <- Int64.add ctx.idle c;
-                  if Trace.on () then
+                  let c = if c < 0 then 0 else c in
+                  ctx.idle <- ctx.idle + c;
+                  if Atomic.get Trace.live_tracers > 0 then
                     trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx "idle";
-                  schedule t ~at:(Int64.add t.now c) (fun () ->
-                      t.current <- Some ctx;
-                      continue k ()))
+                  let at = t.now + c in
+                  t.seq <- t.seq + 1;
+                  if t.fastpath && Pqueue.min_time t.q > at then begin
+                    t.now <- at;
+                    t.current <- Some ctx;
+                    t.pending <- Some k
+                  end
+                  else
+                    Pqueue.push t.q ~time:at ~seq:t.seq (fun () ->
+                        t.current <- Some ctx;
+                        continue k ()))
           | Suspend register ->
               Some
                 (fun (k : (a, _) continuation) ->
@@ -131,17 +246,17 @@ let run_fiber t ctx f =
                     resumed := true;
                     Hashtbl.remove t.blocked ctx.fid;
                     schedule t ~at:t.now (fun () ->
-                        ctx.idle <- Int64.add ctx.idle (Int64.sub t.now t0);
-                        (if Trace.on () && Int64.compare t.now t0 > 0 then
-                           trace_span ~ts:t0
-                             ~dur:(Int64.sub t.now t0)
-                             ~cat:"engine" ctx "blocked");
+                        ctx.idle <- ctx.idle + (t.now - t0);
+                        (if Atomic.get Trace.live_tracers > 0 && t.now > t0 then
+                           trace_span ~ts:t0 ~dur:(t.now - t0) ~cat:"engine" ctx
+                             "blocked");
                         t.current <- Some ctx;
                         continue k ())
                   in
                   register resume)
           | Self -> Some (fun (k : (a, _) continuation) -> continue k ctx)
-          | Now -> Some (fun (k : (a, _) continuation) -> continue k t.now)
+          | Now ->
+              Some (fun (k : (a, _) continuation) -> continue k (Int64.of_int t.now))
           | _ -> None);
     }
 
@@ -153,19 +268,20 @@ let spawn t ?(name = "fiber") ?(core = 0) ?(daemon = false) f =
       name;
       core;
       daemon;
-      user = 0L;
-      sys = 0L;
-      idle = 0L;
-      labels = Hashtbl.create 16;
+      user = 0;
+      sys = 0;
+      idle = 0;
+      lab = [||];
+      it = t.it;
     }
   in
   if not daemon then t.live <- t.live + 1;
-  (if Trace.on () then
+  (if Atomic.get Trace.live_tracers > 0 then
      match Trace.current () with
      | Some tr ->
          Trace.declare_fiber tr ~fiber:ctx.fid ~core:ctx.core ~name:ctx.name;
-         Trace.instant tr ~ts:t.now ~core:ctx.core ~fiber:ctx.fid ~cat:"engine"
-           "spawn"
+         Trace.instant tr ~ts:(Int64.of_int t.now) ~core:ctx.core ~fiber:ctx.fid
+           ~cat:"engine" "spawn"
      | None -> ());
   schedule t ~at:t.now (fun () ->
       t.current <- Some ctx;
@@ -173,22 +289,84 @@ let spawn t ?(name = "fiber") ?(core = 0) ?(daemon = false) f =
   ctx
 
 let run t =
-  let continue_ = ref true in
-  while !continue_ do
-    match Pqueue.pop t.q with
-    | None -> continue_ := false
-    | Some (time, _seq, thunk) ->
-        t.now <- time;
-        t.nevents <- t.nevents + 1;
-        thunk ()
-  done
+  let amb = Domain.DLS.get ambient_key in
+  let saved = !amb in
+  amb := Some t;
+  Fun.protect
+    ~finally:(fun () -> amb := saved)
+    (fun () ->
+      let continue_ = ref true in
+      while !continue_ do
+        match t.pending with
+        | Some k ->
+            (* clock and current fiber were set when the delay fast-pathed *)
+            t.pending <- None;
+            t.nevents <- t.nevents + 1;
+            Effect.Deep.continue k ()
+        | None ->
+            if Pqueue.is_empty t.q then continue_ := false
+            else begin
+              t.now <- Pqueue.min_time t.q;
+              let thunk = Pqueue.pop_min t.q in
+              t.nevents <- t.nevents + 1;
+              thunk ()
+            end
+      done)
 
-let delay ?(cat = User) ?label c = Effect.perform (Delay (cat, label, c))
-let idle_wait c = Effect.perform (Timed_wait c)
+(* Fiber-side fast path: when the wake-up provably precedes every queued
+   event, the continuation would be resumed immediately anyway, so the
+   delay reduces to accounting plus a clock bump — no effect performed,
+   no continuation captured.  Identical (time, seq) order and event
+   count as the queued path; the effect below is the fallback whenever
+   the condition fails (or the fast path is disabled). *)
+let delay ?(cat = User) ?label c =
+  let c = Int64.to_int c in
+  let c = if c < 0 then 0 else c in
+  match !(Domain.DLS.get ambient_key) with
+  | Some ({ fastpath = true; current = Some ctx; _ } as t)
+    when Pqueue.min_time t.q > t.now + c ->
+      (match cat with
+      | User -> ctx.user <- ctx.user + c
+      | Sys -> ctx.sys <- ctx.sys + c);
+      (match label with
+      | None -> ()
+      | Some l -> ctx_bump ctx (intern t.it l) c);
+      (if Atomic.get Trace.live_tracers > 0 then
+         match label with
+         | Some l -> trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx l
+         | None -> ());
+      t.seq <- t.seq + 1;
+      t.nevents <- t.nevents + 1;
+      t.now <- t.now + c
+  | _ -> Effect.perform (Delay (cat, label, c))
+
+let idle_wait c =
+  let c = Int64.to_int c in
+  let c = if c < 0 then 0 else c in
+  match !(Domain.DLS.get ambient_key) with
+  | Some ({ fastpath = true; current = Some ctx; _ } as t)
+    when Pqueue.min_time t.q > t.now + c ->
+      ctx.idle <- ctx.idle + c;
+      if Atomic.get Trace.live_tracers > 0 then trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx "idle";
+      t.seq <- t.seq + 1;
+      t.nevents <- t.nevents + 1;
+      t.now <- t.now + c
+  | _ -> Effect.perform (Timed_wait c)
+
 let suspend register = Effect.perform (Suspend register)
-let now_f () = Effect.perform Now
-let self () = Effect.perform Self
+
+let now_f () =
+  match !(Domain.DLS.get ambient_key) with
+  | Some t -> Int64.of_int t.now
+  | None -> Effect.perform Now
+
+let self () =
+  match !(Domain.DLS.get ambient_key) with
+  | Some { current = Some ctx; _ } -> ctx
+  | _ -> Effect.perform Self
 
 let label_add label c =
   let ctx = self () in
-  bump ctx.labels (Some label) c
+  ctx_bump ctx (intern ctx.it label) (Int64.to_int c)
+
+let ctx_label_add ctx label c = ctx_bump ctx (intern ctx.it label) c

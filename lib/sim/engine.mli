@@ -6,6 +6,14 @@
     consuming wall-clock time, which makes experiments exactly reproducible
     and lets us model a 32-hyperthread server inside one OCaml process.
 
+    Internally the clock, per-fiber counters and the event queue all use
+    unboxed native [int] cycles (virtual time fits in 62 bits); the [int64]
+    signatures below are kept for callers holding [Hw.Costs] constants.
+    Delays whose wake-up provably precedes every queued event take a fast
+    path that skips the queue entirely while preserving the exact
+    [(time, seq)] execution order — same-seed runs are byte-identical with
+    the fast path on or off.
+
     Fibers interact with the engine through {!delay}, {!idle_wait},
     {!suspend}, {!now_f} and {!self}; these must only be called from code
     running inside a fiber spawned with {!spawn}. *)
@@ -14,25 +22,40 @@ type category =
   | User  (** cycles spent in application code (ring 3 / guest user logic) *)
   | Sys   (** cycles spent in kernel, hypervisor, or Aquila runtime code *)
 
+type interns
+(** Engine-wide cost-label intern table (labels map to dense array ids). *)
+
 type ctx = {
   fid : int;  (** unique fiber id *)
   name : string;  (** fiber name, for diagnostics *)
   mutable core : int;  (** core the fiber is pinned to *)
   daemon : bool;  (** daemons do not count as live work *)
-  mutable user : int64;  (** accumulated {!User} cycles *)
-  mutable sys : int64;  (** accumulated {!Sys} cycles *)
-  mutable idle : int64;  (** accumulated cycles spent blocked *)
-  labels : (string, int64) Hashtbl.t;
-      (** fine-grained cycle accounting, keyed by caller-chosen label *)
+  mutable user : int;  (** accumulated {!User} cycles *)
+  mutable sys : int;  (** accumulated {!Sys} cycles *)
+  mutable idle : int;  (** accumulated cycles spent blocked *)
+  mutable lab : int array;
+      (** cycles per interned label id — internal, read via {!labels} *)
+  it : interns;  (** owning engine's intern table — internal *)
 }
 (** Per-fiber execution context and cycle accounting. *)
+
+val labels : ctx -> (string * int64) list
+(** [labels ctx] is the fiber's fine-grained cycle accounting as
+    [(label, cycles)] pairs in first-use order, nonzero entries only. *)
+
+val label_get : ctx -> string -> int64
+(** [label_get ctx label] is the cycles charged to [label] (0 if never
+    charged). *)
 
 type t
 (** A simulation engine instance. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?fastpath:bool -> unit -> t
 (** [create ?seed ()] is a fresh engine with its clock at cycle 0.
-    [seed] (default 42) seeds the engine-wide RNG. *)
+    [seed] (default 42) seeds the engine-wide RNG.  [fastpath] (default
+    [true]) enables the delay fast path; disabling it forces every event
+    through the queue — same results, slower, used by [bench/engine_perf]
+    to measure the fast path's win. *)
 
 val now : t -> int64
 (** [now t] is the current virtual time in cycles. *)
@@ -41,7 +64,8 @@ val rng : t -> Rng.t
 (** [rng t] is the engine-wide deterministic RNG. *)
 
 val events : t -> int
-(** [events t] is the number of events executed so far. *)
+(** [events t] is the number of events executed so far (fast-pathed
+    delays count exactly like queued ones). *)
 
 val live_fibers : t -> int
 (** [live_fibers t] is the number of non-daemon fibers spawned but not yet
@@ -71,7 +95,7 @@ val run : t -> unit
 val delay : ?cat:category -> ?label:string -> int64 -> unit
 (** [delay c] advances the fiber by [c] cycles of {e active} CPU work,
     charged to [cat] (default {!User}) and, when given, to [label] in the
-    fiber's {!ctx.labels} table. *)
+    fiber's per-label accounting (see {!labels}). *)
 
 val idle_wait : int64 -> unit
 (** [idle_wait c] blocks the fiber for [c] cycles {e without} consuming CPU:
@@ -93,3 +117,8 @@ val label_add : string -> int64 -> unit
 (** [label_add label c] adds [c] cycles to the current fiber's [label]
     accounting bucket without advancing time.  Used to attribute a span
     measured with {!now_f} to a named category. *)
+
+val ctx_label_add : ctx -> string -> int -> unit
+(** [ctx_label_add ctx label c] is {!label_add} against an explicit
+    context with unboxed cycles — the allocation-free form used by
+    {!Costbuf.charge} on the fault hot path. *)

@@ -1,8 +1,11 @@
-(** Binary min-heap priority queue keyed by [(time, sequence)] pairs.
+(** Structure-of-arrays 4-ary min-heap keyed by [(time, sequence)] pairs.
 
     Used by the discrete-event engine to order pending events.  Ties on
     [time] are broken by the monotonically increasing sequence number, which
-    makes event ordering — and therefore every simulation — deterministic. *)
+    makes event ordering — and therefore every simulation — deterministic.
+
+    Times are plain native [int] cycles (virtual time fits in 62 bits), so
+    pushes and pops touch no boxed values and allocate nothing. *)
 
 type 'a t
 (** A mutable priority queue holding values of type ['a]. *)
@@ -16,12 +19,30 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 (** [is_empty q] is [length q = 0]. *)
 
-val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
 (** [push q ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
 
-val pop : 'a t -> (int64 * int * 'a) option
+val pop : 'a t -> (int * int * 'a) option
 (** [pop q] removes and returns the element with the smallest
     [(time, seq)] key, or [None] if the queue is empty. *)
 
-val peek_time : 'a t -> int64 option
+val pop_if_before : 'a t -> time:int -> (int * int * 'a) option
+(** [pop_if_before q ~time] is [pop q] when the head's time is strictly
+    earlier than [time], and [None] (leaving the queue untouched)
+    otherwise — the primitive behind the engine's delay fast path. *)
+
+val min_time : 'a t -> int
+(** [min_time q] is the key time of the head, or [max_int] when empty.
+    Allocation-free, for hot-path comparisons. *)
+
+val min_seq : 'a t -> int
+(** [min_seq q] is the sequence number of the head, or [max_int] when
+    empty. *)
+
+val pop_min : 'a t -> 'a
+(** [pop_min q] removes the head and returns its payload only (no tuple
+    allocation).  Raises [Invalid_argument] on an empty queue; pair with
+    {!is_empty} or {!min_time}. *)
+
+val peek_time : 'a t -> int option
 (** [peek_time q] is the key time of the next element without removing it. *)

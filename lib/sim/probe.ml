@@ -13,8 +13,8 @@ let emit_instant ~cat ~value name =
         ~fiber:c.Engine.fid ~cat ?value name
   | _ -> ()
 
-let instant ?(cat = "sim") ?value name =
-  if Trace.on () then emit_instant ~cat ~value name
+let[@inline] instant ?(cat = "sim") ?value name =
+  if Atomic.get Trace.live_tracers > 0 then emit_instant ~cat ~value name
 
 let emit_instant_on_core ~core ~cat ~value name =
   match (Trace.current (), fiber_ctx ()) with
@@ -22,8 +22,8 @@ let emit_instant_on_core ~core ~cat ~value name =
       Trace.instant tr ~ts:(Engine.now_f ()) ~core ~fiber:0 ~cat ?value name
   | _ -> ()
 
-let instant_on_core ~core ?(cat = "sim") ?value name =
-  if Trace.on () then emit_instant_on_core ~core ~cat ~value name
+let[@inline] instant_on_core ~core ?(cat = "sim") ?value name =
+  if Atomic.get Trace.live_tracers > 0 then emit_instant_on_core ~core ~cat ~value name
 
 let emit_counter ~cat ~value name =
   match (Trace.current (), fiber_ctx ()) with
@@ -31,10 +31,10 @@ let emit_counter ~cat ~value name =
       Trace.counter tr ~ts:(Engine.now_f ()) ~core:c.Engine.core ~cat ~value name
   | _ -> ()
 
-let counter ?(cat = "sim") name value =
-  if Trace.on () then emit_counter ~cat ~value name
+let[@inline] counter ?(cat = "sim") name value =
+  if Atomic.get Trace.live_tracers > 0 then emit_counter ~cat ~value name
 
-let span_start () = if Trace.on () then Engine.now_f () else 0L
+let span_start () = if Atomic.get Trace.live_tracers > 0 then Engine.now_f () else 0L
 
 let emit_span_since ~cat ~value ~t0 name =
   match (Trace.current (), fiber_ctx ()) with
@@ -44,11 +44,11 @@ let emit_span_since ~cat ~value ~t0 name =
         ~core:c.Engine.core ~fiber:c.Engine.fid ~cat ?value name
   | _ -> ()
 
-let span_since ?(cat = "sim") ?value ~t0 name =
-  if Trace.on () then emit_span_since ~cat ~value ~t0 name
+let[@inline] span_since ?(cat = "sim") ?value ~t0 name =
+  if Atomic.get Trace.live_tracers > 0 then emit_span_since ~cat ~value ~t0 name
 
 let with_span ?(cat = "sim") ?value name f =
-  if not (Trace.on ()) then f ()
+  if not (Atomic.get Trace.live_tracers > 0) then f ()
   else begin
     let t0 = Engine.now_f () in
     let r = f () in

@@ -1,0 +1,32 @@
+(* Domain-local stdout sink.
+
+   Experiment and benchmark tables print through [printf] instead of
+   [Printf.printf]; by default that is stdout, but a parallel runner can
+   [capture] a job's output into a per-domain buffer and print the jobs
+   in order afterwards, so domain fan-out never interleaves bytes. *)
+
+type target = { mutable buf : Buffer.t option }
+
+let key = Domain.DLS.new_key (fun () -> { buf = None })
+
+let print_string s =
+  match (Domain.DLS.get key).buf with
+  | None -> Stdlib.print_string s
+  | Some b -> Buffer.add_string b s
+
+let printf fmt = Printf.ksprintf print_string fmt
+
+let print_newline () = print_string "\n"
+
+let capture f =
+  let tgt = Domain.DLS.get key in
+  let saved = tgt.buf in
+  let b = Buffer.create 4096 in
+  tgt.buf <- Some b;
+  match f () with
+  | v ->
+      tgt.buf <- saved;
+      (v, Buffer.contents b)
+  | exception e ->
+      tgt.buf <- saved;
+      raise e

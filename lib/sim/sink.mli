@@ -1,0 +1,20 @@
+(** Domain-local stdout sink for experiment/benchmark output.
+
+    Code that prints result tables uses {!printf} instead of
+    [Printf.printf].  By default output goes to stdout unchanged; a
+    parallel runner wraps each job in {!capture} so that domains running
+    concurrently never interleave their bytes, and the captured outputs
+    can be emitted in a deterministic order. *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** [printf fmt ...] prints to the current domain's sink (stdout unless
+    inside {!capture}). *)
+
+val print_string : string -> unit
+
+val print_newline : unit -> unit
+
+val capture : (unit -> 'a) -> 'a * string
+(** [capture f] runs [f] with this domain's sink redirected into a fresh
+    buffer and returns [f]'s result with everything it printed.  Nests;
+    on exception the previous sink is restored and the output is lost. *)

@@ -8,14 +8,14 @@ type t = {
 let create () = { tbl = Hashtbl.create 32; u = 0L; s = 0L; i = 0L }
 
 let absorb t (ctx : Sim.Engine.ctx) =
-  Hashtbl.iter
-    (fun k v ->
+  List.iter
+    (fun (k, v) ->
       let cur = try Hashtbl.find t.tbl k with Not_found -> 0L in
       Hashtbl.replace t.tbl k (Int64.add cur v))
-    ctx.Sim.Engine.labels;
-  t.u <- Int64.add t.u ctx.Sim.Engine.user;
-  t.s <- Int64.add t.s ctx.Sim.Engine.sys;
-  t.i <- Int64.add t.i ctx.Sim.Engine.idle
+    (Sim.Engine.labels ctx);
+  t.u <- Int64.add t.u (Int64.of_int ctx.Sim.Engine.user);
+  t.s <- Int64.add t.s (Int64.of_int ctx.Sim.Engine.sys);
+  t.i <- Int64.add t.i (Int64.of_int ctx.Sim.Engine.idle)
 
 let label t name = try Hashtbl.find t.tbl name with Not_found -> 0L
 

@@ -1,7 +1,7 @@
 (** Cycle-breakdown aggregation across fibers.
 
     Experiments aggregate the per-fiber label accounting kept by the
-    engine ({!Sim.Engine.ctx.labels}) into named categories and print the
+    engine ({!Sim.Engine.labels}) into named categories and print the
     per-operation breakdowns the paper's Figures 7 and 8 report. *)
 
 type t

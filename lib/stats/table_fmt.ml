@@ -13,11 +13,11 @@ let print_table ~title ~header rows =
   let total_width =
     Array.fold_left ( + ) 0 widths + (2 * max 0 (ncols - 1))
   in
-  print_newline ();
-  Printf.printf "== %s ==\n" title;
-  Printf.printf "%s\n" (line header);
-  Printf.printf "%s\n" (String.make (max total_width (String.length title + 6)) '-');
-  List.iter (fun r -> Printf.printf "%s\n" (line r)) rows
+  Sim.Sink.print_newline ();
+  Sim.Sink.printf "== %s ==\n" title;
+  Sim.Sink.printf "%s\n" (line header);
+  Sim.Sink.printf "%s\n" (String.make (max total_width (String.length title + 6)) '-');
+  List.iter (fun r -> Sim.Sink.printf "%s\n" (line r)) rows
 
 let kcycles c =
   if c >= 1000. then Printf.sprintf "%.1fK" (c /. 1000.)

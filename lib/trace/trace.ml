@@ -58,26 +58,39 @@ let create ?(capacity_per_core = 4096) ?(max_cores = 64) () =
     next_seq = 0;
   }
 
-(* ---- ambient tracer ---- *)
+(* ---- ambient tracer ----
 
-let on_flag = ref false
-let installed : t option ref = ref None
+   The tracer itself is domain-local, so each domain of a parallel
+   experiment fan-out owns an independent tracer (or none).  The [on]
+   probe, hit on every engine event, reads a process-wide count of live
+   tracers instead of domain-local storage: an Atomic.get is a plain
+   load, several times cheaper than a DLS fetch.  A domain that isn't
+   tracing while another is sees [on () = true] and then a [None] from
+   [current ()], so its probes stay correct, just not free — and the CLI
+   forces a sequential run under tracing anyway. *)
 
-let on () = !on_flag
+let live_tracers = Atomic.make 0
+
+let ambient_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let[@inline] on () = Atomic.get live_tracers > 0
 
 let start ?capacity_per_core ?max_cores () =
   let t = create ?capacity_per_core ?max_cores () in
-  installed := Some t;
-  on_flag := true;
+  let a = Domain.DLS.get ambient_key in
+  (match !a with Some _ -> () | None -> Atomic.incr live_tracers);
+  a := Some t;
   t
 
 let stop () =
-  let t = !installed in
-  on_flag := false;
-  installed := None;
+  let a = Domain.DLS.get ambient_key in
+  let t = !a in
+  (match t with Some _ -> Atomic.decr live_tracers | None -> ());
+  a := None;
   t
 
-let current () = !installed
+let current () = !(Domain.DLS.get ambient_key)
 
 (* ---- emission ---- *)
 
@@ -159,7 +172,7 @@ let sorted_events t =
   in
   List.stable_sort
     (fun a b ->
-      match Int64.compare a.ts b.ts with 0 -> compare a.seq b.seq | c -> c)
+      match Int64.compare a.ts b.ts with 0 -> Int.compare a.seq b.seq | c -> c)
     all
 
 let iter_events t f = List.iter f (sorted_events t)
@@ -211,7 +224,7 @@ let fibers_declared t =
     (fun (fid, core, name) -> Hashtbl.replace tbl fid (core, name))
     (List.rev t.fibers);
   Hashtbl.fold (fun fid (core, name) acc -> (fid, core, name) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
 
 (* ---- Chrome Trace Event JSON ---- *)
 

@@ -29,6 +29,12 @@ val create : ?capacity_per_core:int -> ?max_cores:int -> unit -> t
     Instrumentation across the stack emits into one globally installed
     tracer so call sites need no plumbing. *)
 
+val live_tracers : int Atomic.t
+(** Process-wide count of installed ambient tracers.  Hot probe sites may
+    read it directly ([Atomic.get live_tracers > 0] — one plain load on
+    x86) instead of calling {!on}; without cross-module inlining the
+    extra call costs more than the check itself. *)
+
 val on : unit -> bool
 (** [on ()] is [true] when an ambient tracer is installed and enabled.
     Probe sites must check this first; it is the whole disabled path. *)

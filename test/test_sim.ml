@@ -8,9 +8,9 @@ let check64 msg a b = Alcotest.(check int64) msg a b
 
 let pqueue_order () =
   let q = Sim.Pqueue.create () in
-  Sim.Pqueue.push q ~time:30L ~seq:1 "c";
-  Sim.Pqueue.push q ~time:10L ~seq:2 "a";
-  Sim.Pqueue.push q ~time:20L ~seq:3 "b";
+  Sim.Pqueue.push q ~time:30 ~seq:1 "c";
+  Sim.Pqueue.push q ~time:10 ~seq:2 "a";
+  Sim.Pqueue.push q ~time:20 ~seq:3 "b";
   let pop () = match Sim.Pqueue.pop q with Some (_, _, v) -> v | None -> "?" in
   check Alcotest.string "first" "a" (pop ());
   check Alcotest.string "second" "b" (pop ());
@@ -20,7 +20,7 @@ let pqueue_order () =
 let pqueue_fifo_ties () =
   let q = Sim.Pqueue.create () in
   for i = 0 to 9 do
-    Sim.Pqueue.push q ~time:5L ~seq:i i
+    Sim.Pqueue.push q ~time:5 ~seq:i i
   done;
   for i = 0 to 9 do
     match Sim.Pqueue.pop q with
@@ -28,15 +28,34 @@ let pqueue_fifo_ties () =
     | None -> Alcotest.fail "queue drained early"
   done
 
+let pqueue_min_time_and_pop_if_before () =
+  let popped = Alcotest.(option (pair int string)) in
+  let strip = Option.map (fun (t, _, v) -> (t, v)) in
+  let q = Sim.Pqueue.create () in
+  checki "empty min_time is max_int" max_int (Sim.Pqueue.min_time q);
+  check popped "pop_if_before on empty" None
+    (strip (Sim.Pqueue.pop_if_before q ~time:100));
+  Sim.Pqueue.push q ~time:50 ~seq:0 "a";
+  Sim.Pqueue.push q ~time:20 ~seq:1 "b";
+  checki "min_time is head" 20 (Sim.Pqueue.min_time q);
+  check popped "head not strictly before 20" None
+    (strip (Sim.Pqueue.pop_if_before q ~time:20));
+  check popped "head before 21"
+    (Some (20, "b"))
+    (strip (Sim.Pqueue.pop_if_before q ~time:21));
+  checki "next head" 50 (Sim.Pqueue.min_time q);
+  check Alcotest.string "pop_min" "a" (Sim.Pqueue.pop_min q);
+  Alcotest.check_raises "pop_min on empty"
+    (Invalid_argument "Pqueue.pop_min: empty queue") (fun () ->
+      ignore (Sim.Pqueue.pop_min q))
+
 let pqueue_prop =
   QCheck.Test.make ~name:"pqueue pops in nondecreasing (time, seq) order"
     ~count:200
     QCheck.(list (pair (int_bound 1000) (int_bound 1000)))
     (fun pairs ->
       let q = Sim.Pqueue.create () in
-      List.iteri
-        (fun seq (t, v) -> Sim.Pqueue.push q ~time:(Int64.of_int t) ~seq v)
-        pairs;
+      List.iteri (fun seq (t, v) -> Sim.Pqueue.push q ~time:t ~seq v) pairs;
       let rec drain last acc =
         match Sim.Pqueue.pop q with
         | None -> List.rev acc
@@ -44,9 +63,55 @@ let pqueue_prop =
             if compare last (t, s) > 0 then raise Exit;
             drain (t, s) ((t, s) :: acc)
       in
-      match drain (-1L, -1) [] with
+      match drain (-1, -1) [] with
       | l -> List.length l = List.length pairs
       | exception Exit -> false)
+
+let pqueue_vs_reference =
+  (* Interleaved pushes and pops against a sorted-list reference model:
+     the heap must return exactly the reference's (time, seq, value)
+     sequence, including FIFO order on time ties. *)
+  QCheck.Test.make ~name:"pqueue matches sorted reference model" ~count:100
+    QCheck.(list (pair (int_bound 100) bool))
+    (fun script ->
+      let q = Sim.Pqueue.create () in
+      let model = ref [] in
+      (* sorted by (time, seq) *)
+      let seq = ref 0 in
+      let insert (t, s, v) =
+        let rec go = function
+          | [] -> [ (t, s, v) ]
+          | ((t', s', _) as hd) :: tl ->
+              if (t, s) < (t', s') then (t, s, v) :: hd :: tl else hd :: go tl
+        in
+        model := go !model
+      in
+      List.for_all
+        (fun (t, is_pop) ->
+          if is_pop then
+            match (Sim.Pqueue.pop q, !model) with
+            | None, [] -> true
+            | Some got, expect :: tl ->
+                model := tl;
+                got = expect
+            | _ -> false
+          else begin
+            incr seq;
+            Sim.Pqueue.push q ~time:t ~seq:!seq !seq;
+            insert (t, !seq, !seq);
+            true
+          end)
+        script
+      &&
+      let rec drain () =
+        match (Sim.Pqueue.pop q, !model) with
+        | None, [] -> true
+        | Some got, expect :: tl ->
+            model := tl;
+            got = expect && drain ()
+        | _ -> false
+      in
+      drain ())
 
 (* ---- Rng ---- *)
 
@@ -86,10 +151,13 @@ let engine_accounting () =
         Sim.Engine.idle_wait 30L)
   in
   Sim.Engine.run eng;
-  check64 "user" 50L ctx.Sim.Engine.user;
-  check64 "sys" 70L ctx.Sim.Engine.sys;
-  check64 "idle" 30L ctx.Sim.Engine.idle;
-  check64 "label" 70L (Hashtbl.find ctx.Sim.Engine.labels "fault");
+  checki "user" 50 ctx.Sim.Engine.user;
+  checki "sys" 70 ctx.Sim.Engine.sys;
+  checki "idle" 30 ctx.Sim.Engine.idle;
+  check64 "label" 70L (Sim.Engine.label_get ctx "fault");
+  check64 "absent label" 0L (Sim.Engine.label_get ctx "nope");
+  Alcotest.(check (list (pair string int64)))
+    "labels list" [ ("fault", 70L) ] (Sim.Engine.labels ctx);
   check64 "total time" 150L (Sim.Engine.now eng)
 
 let engine_parallel_fibers_overlap () =
@@ -128,7 +196,7 @@ let engine_idle_accounted_on_suspend () =
          Sim.Engine.delay 400L;
          Option.get !resume_cell ()));
   Sim.Engine.run eng;
-  check64 "idle = blocked time" 400L ctx.Sim.Engine.idle
+  checki "idle = blocked time" 400 ctx.Sim.Engine.idle
 
 let engine_double_resume_rejected () =
   let eng = Sim.Engine.create () in
@@ -178,6 +246,51 @@ let engine_blocked_fibers_reports_deadlock () =
     "who and where"
     [ (0, "stuck-a"); (2, "stuck-b") ]
     (Sim.Engine.blocked_fibers eng)
+
+let engine_fastpath_matches_queued () =
+  (* The delay fast path must be invisible: same seed with the fast path
+     on and off gives identical event counts, final times, per-fiber
+     accounting and interleaving. *)
+  let run fastpath =
+    let eng = Sim.Engine.create ~seed:11 ~fastpath () in
+    let log = Buffer.create 256 in
+    let ctxs =
+      List.init 3 (fun i ->
+          Sim.Engine.spawn eng ~core:i (fun () ->
+              let rng = Sim.Engine.rng eng in
+              for _ = 1 to 50 do
+                Sim.Engine.delay ~label:"work"
+                  (Int64.of_int (1 + Sim.Rng.int rng 40));
+                if Sim.Rng.int rng 4 = 0 then Sim.Engine.idle_wait 25L;
+                Buffer.add_string log
+                  (Printf.sprintf "%d@%Ld;" i (Sim.Engine.now_f ()))
+              done))
+    in
+    Sim.Engine.run eng;
+    let acct =
+      List.map
+        (fun c ->
+          (c.Sim.Engine.user, c.Sim.Engine.idle, Sim.Engine.label_get c "work"))
+        ctxs
+    in
+    (Sim.Engine.events eng, Sim.Engine.now eng, Buffer.contents log, acct)
+  in
+  let e1, t1, l1, a1 = run true and e2, t2, l2, a2 = run false in
+  checki "same event count" e2 e1;
+  check64 "same final time" t2 t1;
+  check Alcotest.string "same interleaving" l2 l1;
+  Alcotest.(check bool) "same accounting" true (a1 = a2)
+
+let sink_captures_and_restores () =
+  let (), captured =
+    Sim.Sink.capture (fun () ->
+        Sim.Sink.printf "a=%d " 1;
+        let (), inner = Sim.Sink.capture (fun () -> Sim.Sink.printf "inner") in
+        check Alcotest.string "nested capture" "inner" inner;
+        Sim.Sink.printf "b=%d" 2;
+        Sim.Sink.print_newline ())
+  in
+  check Alcotest.string "outer capture" "a=1 b=2\n" captured
 
 let engine_blocked_fibers_empty_when_clean () =
   let eng = Sim.Engine.create () in
@@ -322,8 +435,8 @@ let costbuf_charges_once () =
   in
   Sim.Engine.run eng;
   check64 "time" 110L (Sim.Engine.now eng);
-  check64 "label x" 40L (Hashtbl.find ctx.Sim.Engine.labels "x");
-  check64 "label y" 70L (Hashtbl.find ctx.Sim.Engine.labels "y")
+  check64 "label x" 40L (Sim.Engine.label_get ctx "x");
+  check64 "label y" 70L (Sim.Engine.label_get ctx "y")
 
 let () =
   Alcotest.run "sim"
@@ -332,7 +445,10 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick pqueue_order;
           Alcotest.test_case "fifo on ties" `Quick pqueue_fifo_ties;
+          Alcotest.test_case "min_time / pop_if_before" `Quick
+            pqueue_min_time_and_pop_if_before;
           QCheck_alcotest.to_alcotest pqueue_prop;
+          QCheck_alcotest.to_alcotest pqueue_vs_reference;
         ] );
       ( "rng",
         [
@@ -349,6 +465,8 @@ let () =
           Alcotest.test_case "idle on suspend" `Quick engine_idle_accounted_on_suspend;
           Alcotest.test_case "double resume" `Quick engine_double_resume_rejected;
           Alcotest.test_case "deterministic" `Quick engine_deterministic;
+          Alcotest.test_case "fastpath invisible" `Quick
+            engine_fastpath_matches_queued;
           Alcotest.test_case "blocked fibers named" `Quick
             engine_blocked_fibers_reports_deadlock;
           Alcotest.test_case "blocked fibers empty" `Quick
@@ -364,4 +482,5 @@ let () =
           Alcotest.test_case "waitq" `Quick waitq_signal_broadcast;
         ] );
       ("costbuf", [ Alcotest.test_case "labels and charge" `Quick costbuf_charges_once ]);
+      ("sink", [ Alcotest.test_case "capture" `Quick sink_captures_and_restores ]);
     ]
