@@ -1,0 +1,158 @@
+(* Fault-injection-overhead smoke test.
+
+   With no plan installed, every fault hook in the stack reduces to one
+   cheap check: the engine's per-event crash hook is a field load and
+   branch (cached as [None] at engine creation), and each device-I/O
+   site checks [Atomic.get Fault.live_plans = 0] before touching
+   anything else.  This bench gates that residual cost two ways:
+
+   - absolute: the per-call cost of the disabled check must stay under
+     FAULT_SMOKE_MAX_NS (default 10 ns) — the invariant that catches a
+     hook-path regression;
+   - relative: check cost x check count over the engine_perf fault
+     loop's wall time must stay under FAULT_SMOKE_MAX (default 1%).
+
+   Method, same as bench/trace_smoke: the check count is the workload's
+   engine event count (every event visits the crash-hook check; the
+   loop performs no device I/O, so this is the complete site count);
+   the per-call cost c of the engine's disabled check — modeled
+   faithfully as a match on an opaque mutable [(int -> unit) option]
+   field holding [None] — is calibrated over a 50M-iteration loop; the
+   wall time T is the best of five runs.  The disabled-hook overhead is
+   then c * E / T.  The costlier [Fault.active ()] check (atomic load +
+   domain-local lookup) guards device-I/O sites only; it is gated on
+   its absolute per-call cost here and on its end-to-end cost by the
+   device-heavy workloads in bench/engine_perf.
+
+   The run doubles as the zero-probability determinism smoke: the same
+   workload under an installed all-zero plan (Fault.Plan.default) must
+   reproduce the no-plan event count and final virtual time exactly —
+   the hooks are consulted but inject nothing and draw nothing. *)
+
+type hook_probe = { mutable count : int; mutable hook : (int -> unit) option }
+
+let iters =
+  match Sys.getenv_opt "FAULT_SMOKE_ITERS" with
+  | Some s -> ( match int_of_string_opt s with Some n -> max 1 n | None -> 1_000_000)
+  | None -> 1_000_000
+
+let wall f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+(* the engine-facing fault loop from bench/engine_perf *)
+let workload () =
+  let eng = Sim.Engine.create ~seed:7 () in
+  ignore
+    (Sim.Engine.spawn eng ~name:"faulter" (fun () ->
+         let rng = Sim.Engine.rng eng in
+         let buf = Sim.Costbuf.create () in
+         for _ = 1 to iters do
+           Sim.Costbuf.add buf "index" 160L;
+           Sim.Costbuf.add buf "alloc" 90L;
+           Sim.Costbuf.add buf "map" 210L;
+           Sim.Costbuf.add buf "tlb" 120L;
+           Sim.Costbuf.add buf "index" 60L;
+           Sim.Costbuf.charge buf;
+           Sim.Engine.delay ~label:"app" 300L;
+           if Sim.Rng.int rng 8 = 0 then Sim.Engine.idle_wait 1200L
+         done));
+  Sim.Engine.run eng;
+  (Sim.Engine.events eng, Sim.Engine.now eng)
+
+let () =
+  let budget =
+    match Sys.getenv_opt "FAULT_SMOKE_MAX" with
+    | Some s -> float_of_string s
+    | None -> 0.01
+  in
+  let budget_ns =
+    match Sys.getenv_opt "FAULT_SMOKE_MAX_NS" with
+    | Some s -> float_of_string s
+    | None -> 10.
+  in
+  (* zero-probability plan must not perturb the simulation *)
+  let events, final = workload () in
+  let events_p, final_p =
+    Fault.with_plan (Fault.Plan.make Fault.Plan.default) workload
+  in
+  if events <> events_p || final <> final_p then begin
+    Printf.printf
+      "FAIL: all-zero fault plan perturbed the run: (%d events, %Ld cycles) \
+       no-plan vs (%d events, %Ld cycles) under Plan.default\n"
+      events final events_p final_p;
+    exit 1
+  end;
+  (* best-of-N on both sides of the ratio to cut scheduler noise *)
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let _, dt = wall workload in
+    if dt < !best then best := dt
+  done;
+  (* Calibrate the marginal cost of each disabled check over an empty
+     loop with the same trip count — the loop counter and the opaque
+     barrier are not part of the hook, so they are measured once and
+     subtracted. *)
+  let calls = 50_000_000 in
+  let probe = { count = 0; hook = None } in
+  (* the site context the engine actually has: the event-counter bump on
+     a hot record — measured alone, then with the hook check added, so
+     the subtraction isolates the check as scheduled next to real work *)
+  let base_loop () =
+    for _ = 1 to calls do
+      let p = Sys.opaque_identity probe in
+      p.count <- p.count + 1
+    done
+  in
+  (* the engine's per-event check: one field load and branch on a [None]
+     hook, same shape as the check after each nevents bump *)
+  let check_loop () =
+    for _ = 1 to calls do
+      let p = Sys.opaque_identity probe in
+      p.count <- p.count + 1;
+      match p.hook with Some f -> f p.count | None -> ()
+    done
+  in
+  (* the device-site check: atomic load + domain-local lookup *)
+  let active_loop () =
+    for _ = 1 to calls do
+      let p = Sys.opaque_identity probe in
+      p.count <- p.count + 1;
+      ignore (Sys.opaque_identity (Fault.active ()))
+    done
+  in
+  (* Base and instrumented loops are timed back-to-back within each
+     round so the difference sees the same machine state; the median
+     across rounds rejects the odd descheduled round. *)
+  let rounds = 5 in
+  let dc = Array.make rounds 0. and da = Array.make rounds 0. in
+  for r = 0 to rounds - 1 do
+    let _, tb = wall base_loop in
+    let _, tc = wall check_loop in
+    let _, ta = wall active_loop in
+    dc.(r) <- tc -. tb;
+    da.(r) <- ta -. tb
+  done;
+  let median a =
+    Array.sort compare a;
+    a.(rounds / 2)
+  in
+  let per_call = max 0. (median dc /. float_of_int calls) in
+  let per_active = max 0. (median da /. float_of_int calls) in
+  let overhead = per_call *. float_of_int events /. !best in
+  Printf.printf
+    "fault smoke: %d hook sites (engine events), %.2f ns/disabled-check, \
+     %.2f ns/Fault.active (budget %.1f ns), workload %.3f s -> overhead \
+     %.4f%% (budget %.2f%%)\n"
+    events (per_call *. 1e9) (per_active *. 1e9) budget_ns !best
+    (overhead *. 100.) (budget *. 100.);
+  if per_call *. 1e9 >= budget_ns || per_active *. 1e9 >= budget_ns then begin
+    Printf.printf "FAIL: disabled-check cost above absolute budget\n";
+    exit 1
+  end;
+  if overhead >= budget then begin
+    Printf.printf "FAIL: disabled-hook overhead above budget\n";
+    exit 1
+  end;
+  Printf.printf "OK (and Plan.default reproduced the no-plan run exactly)\n"

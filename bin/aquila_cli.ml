@@ -13,9 +13,9 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_entries ?jobs entries =
+let run_entries ?jobs ?fault entries =
   Printf.printf "Aquila reproduction — %s\n%!" Experiments.Scenario.scale_note;
-  Experiments.Registry.run_selected ?jobs entries
+  Experiments.Registry.run_selected ?jobs ?fault entries
 
 let resolve id =
   if id = "all" then Ok Experiments.Registry.all
@@ -41,6 +41,40 @@ let jobs_arg =
               Each experiment owns its engine, RNG and seeds, so results \
               and output bytes are identical to a sequential run.")
 
+(* Same flag names and spec syntax as bench/main.exe. *)
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"SPEC"
+        ~doc:"Inject seeded device faults, e.g. \
+              'seed=7,read=0.001,write=0.001,torn=0.5,spike=0.01,spikex=8'. \
+              Each job builds its own plan from $(docv), so injection \
+              composes with $(b,--jobs) and stays deterministic.")
+
+let crash_at_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-at" ] ~docv:"EVENT"
+        ~doc:"Cut the power at engine event $(docv) (shorthand for \
+              'crash=$(docv)' in $(b,--fault-plan)); the run reports the \
+              cut and discards volatile state.")
+
+let fault_spec_of plan crash_at =
+  let base =
+    match plan with
+    | None -> Ok Fault.Plan.default
+    | Some s -> Fault.Plan.parse s
+  in
+  Result.map
+    (fun spec ->
+      match crash_at with
+      | None ->
+          if plan = None then None else Some spec
+      | Some at -> Some { spec with Fault.Plan.crash_at = Some at })
+    base
+
 let run_cmd =
   let doc = "Run one experiment (or 'all')." in
   let id =
@@ -49,11 +83,12 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see 'list'), or 'all'.")
   in
-  let run id trace_out jobs =
-    match resolve id with
-    | Error msg -> `Error (false, msg)
-    | Ok _ when jobs < 1 -> `Error (true, "--jobs must be >= 1")
-    | Ok entries ->
+  let run id trace_out jobs plan crash_at =
+    match (resolve id, fault_spec_of plan crash_at) with
+    | Error msg, _ -> `Error (false, msg)
+    | _, Error msg -> `Error (true, "--fault-plan: " ^ msg)
+    | Ok _, _ when jobs < 1 -> `Error (true, "--jobs must be >= 1")
+    | Ok entries, Ok fault ->
         (* The ambient tracer is domain-local: worker domains would record
            nothing, so tracing forces a sequential run. *)
         let jobs =
@@ -64,10 +99,14 @@ let run_cmd =
           else jobs
         in
         Experiments.Scenario.with_trace ?out:trace_out (fun () ->
-            run_entries ~jobs entries);
+            run_entries ~jobs ?fault entries);
         `Ok ()
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id $ trace_out_arg $ jobs_arg))
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ id $ trace_out_arg $ jobs_arg $ fault_plan_arg
+       $ crash_at_arg))
 
 let trace_cmd =
   let doc = "Run an experiment under the tracer and export the trace." in
@@ -134,7 +173,94 @@ let trace_cmd =
     (Cmd.info "trace" ~doc ~man)
     Term.(ret (const run $ id $ out $ csv $ summary $ buffer))
 
+let faultcheck_cmd =
+  let doc = "Crash-consistency sweep: inject power cuts, verify durability." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "For every (seed, crash point) combo, runs a workload under a \
+         deterministic fault plan that cuts the power at a chosen engine \
+         event, checks the surviving device bytes against a durability \
+         oracle (everything acked by a completed msync must be intact and \
+         untorn), and restarts a fresh stack over the same device.  Runs \
+         both the mmap microbenchmark (NVMe) and the Kreon-sim KV store \
+         (DAX pmem) unless $(b,--mode) narrows it.  Exits non-zero on any \
+         violation.";
+    ]
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "seeds" ] ~docv:"N" ~doc:"Sweep workload seeds 1..$(docv).")
+  in
+  let points =
+    Arg.(
+      value
+      & opt int 20
+      & info [ "points" ] ~docv:"N"
+          ~doc:"Crash points per seed, spread over the run's event count.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("all", `All); ("micro", `Micro); ("kreon", `Kreon) ]) `All
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Which stack to check: $(docv) is \
+                                           'micro', 'kreon' or 'all'.")
+  in
+  let broken =
+    Arg.(
+      value
+      & flag
+      & info [ "broken" ]
+          ~doc:"Check the deliberately broken variant (write-protect after \
+                msync disabled): the sweep is expected to report \
+                violations, proving the checker has teeth.")
+  in
+  let run seeds points mode broken plan crash_at =
+    if seeds < 1 || points < 1 then
+      `Error (true, "--seeds and --points must be >= 1")
+    else
+      match fault_spec_of plan crash_at with
+      | Error msg -> `Error (true, "--fault-plan: " ^ msg)
+      | Ok fault ->
+          let spec = Option.value fault ~default:Fault.Plan.default in
+          let seeds = List.init seeds (fun i -> i + 1) in
+          let reports =
+            (match mode with
+            | `Micro | `All ->
+                [ Fault_check.Check.run_micro ~spec ~broken ~seeds ~points () ]
+            | `Kreon -> [])
+            @
+            match mode with
+            | `Kreon | `All ->
+                if broken then []
+                else [ Fault_check.Check.run_kreon ~spec ~seeds ~points () ]
+            | `Micro -> []
+          in
+          List.iter (Fault_check.Check.pp_report Format.std_formatter) reports;
+          let clean = List.for_all Fault_check.Check.ok reports in
+          if broken then
+            if clean then
+              `Error (false, "broken variant produced no violations — the \
+                              checker missed a real durability bug")
+            else begin
+              print_endline
+                "broken variant caught, as expected — checker has teeth";
+              `Ok ()
+            end
+          else if clean then `Ok ()
+          else `Error (false, "durability violations found")
+  in
+  Cmd.v
+    (Cmd.info "faultcheck" ~doc ~man)
+    Term.(
+      ret
+        (const run $ seeds $ points $ mode $ broken $ fault_plan_arg
+       $ crash_at_arg))
+
 let () =
   let doc = "Reproduction harness for 'Memory-Mapped I/O on Steroids' (EuroSys '21)" in
   let info = Cmd.info "aquila_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; faultcheck_cmd ]))

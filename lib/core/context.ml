@@ -246,11 +246,20 @@ let rec touch_page ?(attempt = 0) t region ~page ~write buf =
       Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"vma" vcost;
       (match area_opt with
       | None -> failwith "Aquila: fault outside any mapping (SIGSEGV)"
-      | Some area ->
+      | Some area -> (
           let fpage = area.Vma.file_page0 + (vpn - area.Vma.vstart) in
           let key = Mcache.Pagekey.make ~file:area.Vma.file_id ~page:fpage in
-          Mcache.Dram_cache.fault t.ccache ~readahead:(readahead_for t area)
-            ~core ~key ~vpn ~write ());
+          try
+            Mcache.Dram_cache.fault t.ccache ~readahead:(readahead_for t area)
+              ~core ~key ~vpn ~write ()
+          with Fault.Sigbus _ as e ->
+            (* media error under the mapping: deliver the signal to the
+               application, exactly like a kernel mmap would *)
+            Syscalls.record_sigbus t.sys;
+            Sim.Probe.span_since ~cat:"aquila"
+              ~value:(if write then 1L else 0L)
+              ~t0:ft0 "fault_sigbus";
+            raise e));
       (match Hw.Page_table.find t.pt ~vpn with
       | Some pte ->
           (* EPT only exists under virtualization (Aquila mode). *)

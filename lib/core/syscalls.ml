@@ -1,10 +1,12 @@
 type t = {
   mutable nintercepted : int;
   mutable nforwarded : int;
+  mutable nsigbus : int;
   counts : (string, int) Hashtbl.t;
 }
 
-let create () = { nintercepted = 0; nforwarded = 0; counts = Hashtbl.create 16 }
+let create () =
+  { nintercepted = 0; nforwarded = 0; nsigbus = 0; counts = Hashtbl.create 16 }
 
 let dispatch_cost = 80L (* handler dispatch: a function call, no domain switch *)
 
@@ -31,6 +33,12 @@ let forwarded t costs dom name =
   Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"syscall_forward"
     (Hw.Domain_x.syscall_cost costs dom)
 
+let record_sigbus t =
+  t.nsigbus <- t.nsigbus + 1;
+  bump t "SIGBUS";
+  if Trace.on () then Sim.Probe.instant ~cat:"syscall" "SIGBUS"
+
 let intercepted_count t = t.nintercepted
 let forwarded_count t = t.nforwarded
+let sigbus_count t = t.nsigbus
 let by_name t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []

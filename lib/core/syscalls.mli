@@ -18,6 +18,12 @@ val forwarded : t -> Hw.Costs.t -> Hw.Domain_x.t -> string -> unit
     and charges the transition ([syscall] from ring 3, vmcall round trip
     from non-root ring 0). *)
 
+val record_sigbus : t -> unit
+(** [record_sigbus t] counts a simulated SIGBUS delivery — an mmap'd
+    load/store whose backing read died with an unrecoverable device
+    error (see {!Fault.Sigbus}).  Shows up in {!by_name} as ["SIGBUS"]. *)
+
 val intercepted_count : t -> int
 val forwarded_count : t -> int
+val sigbus_count : t -> int
 val by_name : t -> (string * int) list

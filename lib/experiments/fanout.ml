@@ -12,6 +12,25 @@ type job = { jname : string; jrun : unit -> unit }
 
 let job ~name run = { jname = name; jrun = run }
 
+(* Every job builds its own plan from the same spec, so injection is
+   identical whatever worker domain (and [--jobs] degree) runs it; a
+   power cut ends just that job, with the cut reported in its output. *)
+let wrap_fault spec j =
+  match spec with
+  | None -> j
+  | Some spec ->
+      {
+        j with
+        jrun =
+          (fun () ->
+            let plan = Fault.Plan.make spec in
+            try Fault.with_plan plan j.jrun
+            with Fault.Crash { at_event } ->
+              Sim.Sink.printf
+                "[%s: power cut at event %d — volatile state discarded]\n"
+                j.jname at_event);
+      }
+
 let run_seq js =
   List.iter
     (fun j ->
@@ -19,7 +38,8 @@ let run_seq js =
       flush stdout)
     js
 
-let run ?(jobs = 1) js =
+let run ?(jobs = 1) ?fault js =
+  let js = List.map (wrap_fault fault) js in
   let n = List.length js in
   if jobs <= 1 || n <= 1 then run_seq js
   else begin

@@ -10,8 +10,14 @@ type job = { jname : string; jrun : unit -> unit }
 
 val job : name:string -> (unit -> unit) -> job
 
-val run : ?jobs:int -> job list -> unit
+val run : ?jobs:int -> ?fault:Fault.Plan.spec -> job list -> unit
 (** [run ~jobs js] executes [js] on up to [jobs] domains ([jobs <= 1]
     runs sequentially, streaming output directly).  If any job raised,
     the first exception (in job order) is re-raised after every job's
-    output has been printed. *)
+    output has been printed.
+
+    [fault] installs a fresh {!Fault.Plan} built from the spec around
+    each job (in whichever domain runs it), so fault injection composes
+    with [--jobs]: per-job injection — and therefore output — is
+    byte-identical at any parallelism degree.  An injected power cut
+    ({!Fault.Crash}) ends only that job and is reported in its output. *)

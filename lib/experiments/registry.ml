@@ -31,8 +31,8 @@ let find_prefix id =
 
 (* Each entry becomes one fan-out job that prints its own header, so the
    aggregate output is byte-identical at any parallelism degree. *)
-let run_selected ?(jobs = 1) entries =
-  Fanout.run ~jobs
+let run_selected ?(jobs = 1) ?fault entries =
+  Fanout.run ~jobs ?fault
     (List.map
        (fun e ->
          Fanout.job ~name:e.id (fun () ->
@@ -40,6 +40,6 @@ let run_selected ?(jobs = 1) entries =
              e.run ()))
        entries)
 
-let run_all ?jobs () =
+let run_all ?jobs ?fault () =
   Sim.Sink.printf "Aquila reproduction — %s\n" Scenario.scale_note;
-  run_selected ?jobs all
+  run_selected ?jobs ?fault all

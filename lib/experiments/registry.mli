@@ -18,10 +18,11 @@ val find_prefix : string -> entry list
     otherwise every entry whose id starts with [id] (so ["fig5"]
     resolves to fig5a and fig5b); [[]] when nothing matches. *)
 
-val run_selected : ?jobs:int -> entry list -> unit
+val run_selected : ?jobs:int -> ?fault:Fault.Plan.spec -> entry list -> unit
 (** [run_selected ~jobs entries] runs each entry (with its [### id: title]
     header) on up to [jobs] domains via {!Fanout.run}; output is printed
-    in entry order and is byte-identical to a sequential run. *)
+    in entry order and is byte-identical to a sequential run.  [fault]
+    injects faults from a per-job fresh plan (see {!Fanout.run}). *)
 
-val run_all : ?jobs:int -> unit -> unit
+val run_all : ?jobs:int -> ?fault:Fault.Plan.spec -> unit -> unit
 (** Runs every experiment, with the scale note printed once up front. *)

@@ -136,6 +136,15 @@ let write_superblock t =
   Aquila.Context.write t.ctx t.region ~off:0 ~src:b
 
 let msync t =
+  (* Commit protocol, in crash-safe order: first make the data durable —
+     log tail, freshly built level pages — and only then write and flush
+     the superblock that points at it.  Flushing both in one msync would
+     write the superblock first (ascending offset), so a power cut inside
+     that msync could leave a superblock referencing log pages that never
+     hit the device — a dense 'aquila_cli faultcheck --mode kreon' sweep
+     catches exactly that.  The second msync flushes a single page (the
+     dirty set is otherwise empty). *)
+  Aquila.Context.msync t.ctx t.region;
   write_superblock t;
   Aquila.Context.msync t.ctx t.region
 

@@ -48,6 +48,8 @@ type t = {
   mutable s_evictions : int;
   mutable s_read_ios : int;
   mutable s_wb_ios : int;
+  mutable s_wb_errors : int;
+  mutable s_sigbus : int;
 }
 
 let create ~costs ~machine ~page_table cfg =
@@ -75,6 +77,8 @@ let create ~costs ~machine ~page_table cfg =
       s_evictions = 0;
       s_read_ios = 0;
       s_wb_ios = 0;
+      s_wb_errors = 0;
+      s_sigbus = 0;
     }
   in
   for i = 0 to cfg.frames - 1 do
@@ -129,23 +133,34 @@ let shootdown_vpns t ~core vpns =
 
 (* Write the given (key, frame) pairs back, merging device-contiguous
    runs.  Entries must already be guarded (tree entries removed or pages
-   locked).  Suspends. *)
+   locked).  Suspends.  Returns the pairs whose write-back still failed
+   after the access layer's retries; what to do with the casualties
+   (re-tag dirty, or drop with data loss) is the caller's call. *)
 let writeback_pairs t pairs =
   let wb0 = Sim.Probe.span_start () in
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
   let flush file dev_start run =
     match run with
-    | [] -> ()
+    | [] -> []
     | _ ->
-        let frames_in_order = List.rev run in
-        let count = List.length frames_in_order in
+        let entries = List.rev run in
+        let count = List.length entries in
         let scratch = Bytes.create (count * psz) in
         List.iteri
-          (fun i (fr : frame) -> Bytes.blit fr.data 0 scratch (i * psz) psz)
-          frames_in_order;
+          (fun i (_, (fr : frame)) -> Bytes.blit fr.data 0 scratch (i * psz) psz)
+          entries;
         let m = meta_of t file in
-        Sdevice.Access.write_pages m.access ~page:dev_start ~count ~src:scratch;
-        t.s_wb_ios <- t.s_wb_ios + 1
+        (match
+           Sdevice.Access.write_pages_result m.access ~page:dev_start ~count
+             ~src:scratch
+         with
+        | Ok () ->
+            t.s_wb_ios <- t.s_wb_ios + 1;
+            []
+        | Error _ ->
+            t.s_wb_errors <- t.s_wb_errors + count;
+            if Trace.on () then Sim.Probe.instant ~cat:"fault" "wb_error";
+            entries)
   in
   let state = ref None in
   let runs = ref [] in
@@ -159,18 +174,35 @@ let writeback_pairs t pairs =
           match !state with
           | Some (f, start, next, run)
             when f = file && dev = next && next - start < t.cfg.writeback_merge ->
-              state := Some (f, start, next + 1, fr :: run)
+              state := Some (f, start, next + 1, (key, fr) :: run)
           | Some prev ->
               runs := prev :: !runs;
-              state := Some (file, dev, dev + 1, [ fr ])
-          | None -> state := Some (file, dev, dev + 1, [ fr ])))
+              state := Some (file, dev, dev + 1, [ (key, fr) ])
+          | None -> state := Some (file, dev, dev + 1, [ (key, fr) ])))
     sorted;
   (match !state with Some last -> runs := last :: !runs | None -> ());
-  List.iter (fun (f, start, _n, run) -> flush f start run) (List.rev !runs);
+  let failed =
+    List.concat_map (fun (f, start, _n, run) -> flush f start run) (List.rev !runs)
+  in
   if pairs <> [] then
     Sim.Probe.span_since ~cat:"linux"
       ~value:(Int64.of_int (List.length pairs))
-      ~t0:wb0 "writeback"
+      ~t0:wb0 "writeback";
+  failed
+
+(* Re-tag failed write-backs dirty so a later msync/flusher round retries
+   them.  Only valid while the frames are still in the tree. *)
+let retag_dirty t failed =
+  List.iter
+    (fun (key, (fr : frame)) ->
+      let m = meta_of t (Pagekey.file_of key) in
+      Sim.Sync.Mutex.lock m.tree_lock;
+      if not fr.dirty then begin
+        fr.dirty <- true;
+        Hashtbl.replace m.dirty_tags (Pagekey.page_of key) ()
+      end;
+      Sim.Sync.Mutex.unlock m.tree_lock)
+    failed
 
 (* Direct reclaim by the faulting thread: scan the global LRU under
    [lru_lock], then tear down each victim under its file's [tree_lock]. *)
@@ -244,7 +276,10 @@ let reclaim t ~core =
       (fun (key, fr, iv) -> match iv with Some _ -> Some (key, fr) | None -> None)
       torn
   in
-  writeback_pairs t dirty_pairs;
+  (* the victims are already torn out of the tree and unmapped; a failed
+     write-back here loses the data, like the kernel dropping a page after
+     AS_EIO — the error is counted, the frame is recycled regardless *)
+  ignore (writeback_pairs t dirty_pairs);
   List.iter
     (fun (key, _, iv) ->
       match iv with
@@ -315,7 +350,25 @@ let fill t ~core ~key =
     if count = 1 then (match window with [ (_, _, fr) ] -> fr.data | _ -> assert false)
     else Bytes.create (count * psz)
   in
-  Sdevice.Access.read_pages m.access ~page:dev ~count ~dst:scratch;
+  (match Sdevice.Access.read_pages m.access ~page:dev ~count ~dst:scratch with
+  | () -> ()
+  | exception (Fault.Io_error _ as e) ->
+      (* unrecoverable media error: hand the window's frames back and wake
+         any fiber piggybacked on a readahead page (it will retry and get
+         its own verdict); [key]'s own guard is the caller's to release *)
+      Sim.Sync.Mutex.lock t.zone_lock;
+      List.iter (fun (_, _, (fr : frame)) -> Queue.add fr.fno t.free) window;
+      Sim.Sync.Mutex.unlock t.zone_lock;
+      List.iter
+        (fun (k, _, _) ->
+          if k <> key then
+            match Hashtbl.find_opt t.inflight k with
+            | Some iv ->
+                Hashtbl.remove t.inflight k;
+                Sim.Sync.Ivar.fill iv ()
+            | None -> ())
+        window;
+      raise e);
   t.s_read_ios <- t.s_read_ios + 1;
   (* Insert each page under the tree_lock (add_to_page_cache). *)
   List.iteri
@@ -383,7 +436,20 @@ let rec ensure_resident t ~core ~key =
           Hashtbl.replace t.inflight key iv;
           if Trace.on () then Sim.Probe.instant ~cat:"linux" "miss";
           let f0 = Sim.Probe.span_start () in
-          let fr = fill t ~core ~key in
+          let fr =
+            try fill t ~core ~key
+            with Fault.Io_error _ ->
+              Hashtbl.remove t.inflight key;
+              Sim.Sync.Ivar.fill iv ();
+              t.s_sigbus <- t.s_sigbus + 1;
+              (match Fault.active () with
+              | Some p -> Fault.note_sigbus p
+              | None -> ());
+              if Trace.on () then Sim.Probe.instant ~cat:"fault" "sigbus";
+              raise
+                (Fault.Sigbus
+                   { file = Pagekey.file_of key; page = Pagekey.page_of key })
+          in
           Sim.Probe.span_since ~cat:"linux" ~t0:f0 "fill";
           Hashtbl.remove t.inflight key;
           Sim.Sync.Ivar.fill iv ();
@@ -449,7 +515,7 @@ let msync_file t ~core ~file_id =
       pairs
   in
   shootdown_vpns t ~core vpns;
-  writeback_pairs t pairs
+  retag_dirty t (writeback_pairs t pairs)
 
 let drop_file t ~core ~file_id =
   let c = t.costs in
@@ -528,8 +594,12 @@ let flush_some t ~core ~batch =
       pairs
   in
   shootdown_vpns t ~core vpns;
-  writeback_pairs t pairs;
-  List.length pairs
+  let failed = writeback_pairs t pairs in
+  retag_dirty t failed;
+  (* report pages actually cleaned, so an error storm (everything failing)
+     reads as "no progress" and the flusher backs off to its waitq instead
+     of spinning *)
+  List.length pairs - List.length failed
 
 let spawn_flusher t ~eng ?(hi = 256) ?(lo = 64) ?(core = 0) () =
   if t.flusher <> None then invalid_arg "Page_cache: flusher already running";
@@ -557,6 +627,8 @@ let misses t = t.s_misses
 let evictions t = t.s_evictions
 let read_ios t = t.s_read_ios
 let writeback_ios t = t.s_wb_ios
+let writeback_errors t = t.s_wb_errors
+let sigbus_count t = t.s_sigbus
 
 let tree_lock_contended t =
   Hashtbl.fold

@@ -9,6 +9,7 @@ type config = {
   writeback_merge : int;
   ipi_mode : Hw.Ipi.send_mode;
   readahead : int;
+  wb_protect : bool;
 }
 
 let default_config ~frames =
@@ -24,6 +25,7 @@ let default_config ~frames =
     writeback_merge = 64;
     ipi_mode = Hw.Ipi.Vmexit_send;
     readahead = 0;
+    wb_protect = true;
   }
 
 type frame = {
@@ -66,6 +68,10 @@ type t = {
   mutable s_read_ios : int;
   mutable s_read_pages : int;
   mutable s_inflight_waits : int;
+  mutable s_wb_errors : int;
+  mutable s_sigbus : int;
+  mutable wb_fail_streak : int; (* consecutive write-back rounds with failures *)
+  mutable read_only : bool; (* degraded: error storm made write-back unsafe *)
 }
 
 let create ~costs ~machine ~page_table cfg =
@@ -113,6 +119,10 @@ let create ~costs ~machine ~page_table cfg =
       s_read_ios = 0;
       s_read_pages = 0;
       s_inflight_waits = 0;
+      s_wb_errors = 0;
+      s_sigbus = 0;
+      wb_fail_streak = 0;
+      read_only = false;
     }
   in
   let nodes = topo.Hw.Topology.nodes in
@@ -157,15 +167,18 @@ let invalidate_mappings t ~core ~vpns buf =
            ~targets:t.shoot_cores ~vpns)
 
 (* Write [frames] back to their devices in ascending key order, merging
-   runs of device-contiguous pages into single I/Os.  Suspends. *)
+   runs of device-contiguous pages into single I/Os.  Suspends.  Returns
+   the frames whose run still failed after the access layer's retries,
+   with the final error — callers must keep those pages dirty (graceful
+   degradation: a failed write-back is never data loss). *)
 let writeback_frames t frames buf =
   let c = t.costs in
   let wb0 = Sim.Probe.span_start () in
   let items = List.sort (fun (a : frame) b -> Int.compare a.key b.key) frames in
   let flush_run file dev_start run =
     match run with
-    | [] -> ()
-    | _ :: _ ->
+    | [] -> []
+    | _ :: _ -> (
         let frames_in_order = List.rev run in
         let count = List.length frames_in_order in
         let scratch = Bytes.create (count * psz) in
@@ -173,10 +186,17 @@ let writeback_frames t frames buf =
           (fun i (fr : frame) -> Bytes.blit fr.data 0 scratch (i * psz) psz)
           frames_in_order;
         let backend = backend_of t file in
-        Sdevice.Access.write_pages backend.access ~page:dev_start ~count
-          ~src:scratch;
-        t.s_wb_ios <- t.s_wb_ios + 1;
-        t.s_wb_pages <- t.s_wb_pages + count
+        match
+          Sdevice.Access.write_pages_result backend.access ~page:dev_start ~count
+            ~src:scratch
+        with
+        | Ok () ->
+            t.s_wb_ios <- t.s_wb_ios + 1;
+            t.s_wb_pages <- t.s_wb_pages + count;
+            []
+        | Error e ->
+            if Trace.on () then Sim.Probe.instant ~cat:"fault" "wb_error";
+            List.map (fun fr -> (fr, e)) frames_in_order)
   in
   let state = ref None in
   let runs = ref [] in
@@ -199,11 +219,45 @@ let writeback_frames t frames buf =
     items;
   (match !state with Some last -> runs := last :: !runs | None -> ());
   (* Issue the I/Os after run computation (the blits snapshot the data). *)
-  List.iter (fun (f, start, _next, run) -> flush_run f start run) (List.rev !runs);
+  let failed =
+    List.concat_map
+      (fun (f, start, _next, run) -> flush_run f start run)
+      (List.rev !runs)
+  in
   if frames <> [] then
     Sim.Probe.span_since ~cat:"mcache"
       ~value:(Int64.of_int (List.length frames))
-      ~t0:wb0 "writeback"
+      ~t0:wb0 "writeback";
+  failed
+
+(* An error storm — this many consecutive write-back rounds with
+   failures — degrades the cache to read-only: refusing new writes beats
+   acknowledging stores that can no longer be made durable. *)
+let degrade_streak_limit = 8
+
+let note_wb_outcome t ~failed =
+  if failed > 0 then begin
+    t.s_wb_errors <- t.s_wb_errors + failed;
+    t.wb_fail_streak <- t.wb_fail_streak + 1;
+    if (not t.read_only) && t.wb_fail_streak >= degrade_streak_limit then begin
+      t.read_only <- true;
+      if Trace.on () then Sim.Probe.instant ~cat:"fault" "cache_readonly"
+    end
+  end
+  else t.wb_fail_streak <- 0
+
+(* Put write-back casualties back on the books: still resident, still
+   dirty (unless a concurrent store already re-dirtied them during the
+   suspension). *)
+let requeue_failed_dirty t buf failed =
+  List.iter
+    (fun ((fr : frame), _e) ->
+      if not fr.dirty then begin
+        fr.dirty <- true;
+        Sim.Costbuf.add buf "writeback"
+          (Dirty_set.add t.dirty ~core:fr.dirty_core ~key:fr.key ~frame:fr.fno)
+      end)
+    failed
 
 (* Synchronously evict a batch of frames (Section 3.2).  The index
    removal, in-flight guards, PTE teardown and shootdown all happen
@@ -255,19 +309,37 @@ let evict_batch_now t ~core buf =
       in
       invalidate_mappings t ~core ~vpns buf;
       (* 3. Merged, offset-sorted write-back (suspends). *)
-      writeback_frames t dirty_frames buf;
+      let failed = writeback_frames t dirty_frames buf in
+      if dirty_frames <> [] then
+        note_wb_outcome t ~failed:(List.length failed);
+      (* Failed victims survive the eviction: back into the index (before
+         the guards release any waiting faulters) and the dirty set, LRU
+         active so they are not the next victims again. *)
+      requeue_failed_dirty t buf failed;
+      List.iter
+        (fun ((fr : frame), _e) ->
+          ignore (Dstruct.Lockfree_hash.insert t.index fr.key fr);
+          Sim.Costbuf.add buf "evict" c.hash_update;
+          Dstruct.Clock_lru.set_active t.lru fr.fno true;
+          Dstruct.Clock_lru.touch t.lru fr.fno)
+        failed;
       List.iter
         (fun ((fr : frame), iv) ->
           Hashtbl.remove t.inflight fr.key;
           Sim.Sync.Ivar.fill iv ())
         guards;
-      (* 4. Recycle. *)
+      (* 4. Recycle everything that actually made it out. *)
+      let failed_frames = List.map fst failed in
+      let recycled = ref 0 in
       List.iter
         (fun (fr : frame) ->
-          fr.key <- -1;
-          Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core fr.fno))
+          if not (List.memq fr failed_frames) then begin
+            fr.key <- -1;
+            incr recycled;
+            Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core fr.fno)
+          end)
         frames;
-      t.s_evictions <- t.s_evictions + List.length frames;
+      t.s_evictions <- t.s_evictions + !recycled;
       if Trace.on () then begin
         Sim.Probe.span_since ~cat:"mcache"
           ~value:(Int64.of_int (List.length frames))
@@ -275,7 +347,7 @@ let evict_batch_now t ~core buf =
         Sim.Probe.counter ~cat:"mcache" "dirty_pages"
           (Int64.of_int (Dirty_set.total t.dirty))
       end;
-      true
+      !recycled > 0
 
 (* Concurrent faulting threads coalesce on one evictor: a stampede of
    per-thread batch evictions would wipe the whole cache under pressure. *)
@@ -349,7 +421,19 @@ let read_in t ~core ~key ~readahead (frame : frame) buf =
       extra
   in
   let scratch = if count = 1 then frame.data else Bytes.create (count * psz) in
-  Sdevice.Access.read_pages backend.access ~page:dev ~count ~dst:scratch;
+  (try Sdevice.Access.read_pages backend.access ~page:dev ~count ~dst:scratch
+   with e ->
+     (* Unrecoverable read: release the readahead frames and their
+        guards (waiters re-check the index, miss, and retry — getting
+        their own verdict) before the error unwinds to the faulter. *)
+     List.iter
+       (fun (k, (fr : frame), iv) ->
+         Hashtbl.remove t.inflight k;
+         fr.key <- -1;
+         Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core fr.fno);
+         Sim.Sync.Ivar.fill iv ())
+       guards;
+     raise e);
   t.s_read_ios <- t.s_read_ios + 1;
   t.s_read_pages <- t.s_read_pages + count;
   if count > 1 then Bytes.blit scratch 0 frame.data 0 psz;
@@ -374,6 +458,8 @@ let read_in t ~core ~key ~readahead (frame : frame) buf =
 
 let fault t ?readahead ~core ~key ~vpn ~write () =
   let c = t.costs in
+  if write && t.read_only then
+    raise (Fault.Read_only "dram-cache: write-back failing, cache is read-only");
   let readahead = match readahead with Some r -> r | None -> t.cfg.readahead in
   let buf = Sim.Costbuf.create () in
   Sim.Costbuf.add buf "index" c.hash_lookup;
@@ -390,16 +476,34 @@ let fault t ?readahead ~core ~key ~vpn ~write () =
             Sim.Sync.Ivar.read iv;
             Sim.Costbuf.add buf "index" c.hash_lookup;
             get_frame ()
-        | None ->
+        | None -> (
             let iv = Sim.Sync.Ivar.create () in
             Hashtbl.replace t.inflight key iv;
             if Trace.on () then Sim.Probe.instant ~cat:"mcache" "miss";
             let frame = alloc_frame t ~core buf 0 in
-            read_in t ~core ~key ~readahead frame buf;
-            Hashtbl.remove t.inflight key;
-            Sim.Sync.Ivar.fill iv ();
-            t.s_misses <- t.s_misses + 1;
-            frame)
+            match read_in t ~core ~key ~readahead frame buf with
+            | () ->
+                Hashtbl.remove t.inflight key;
+                Sim.Sync.Ivar.fill iv ();
+                t.s_misses <- t.s_misses + 1;
+                frame
+            | exception Fault.Io_error _ ->
+                (* the read is dead after retries: free the frame, wake
+                   any piggybacked faulters, and deliver a SIGBUS — the
+                   same contract a real mmap gives on a media error *)
+                Hashtbl.remove t.inflight key;
+                frame.key <- -1;
+                Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core frame.fno);
+                Sim.Sync.Ivar.fill iv ();
+                t.s_sigbus <- t.s_sigbus + 1;
+                (match Fault.active () with
+                | Some p -> Fault.note_sigbus p
+                | None -> ());
+                if Trace.on () then Sim.Probe.instant ~cat:"fault" "sigbus";
+                Sim.Costbuf.charge buf;
+                raise
+                  (Fault.Sigbus
+                     { file = Pagekey.file_of key; page = Pagekey.page_of key })))
   in
   let frame = get_frame () in
   (* Read faults map read-only so the first write faults again and marks
@@ -436,37 +540,61 @@ let key_of_pfn t pfn =
 let is_resident t ~key = Dstruct.Lockfree_hash.mem t.index key
 
 (* Write back dirty pages (all, or the [limit] lowest-offset ones),
-   write-protecting their PTEs so further stores re-mark them dirty. *)
+   write-protecting their PTEs so further stores re-mark them dirty.
+   Returns the write-back casualties (kept dirty — no data loss). *)
 let clean t ~core ?file ?limit () =
-  let c = t.costs in
-  let buf = Sim.Costbuf.create () in
-  let entries, dcost = Dirty_set.drain_sorted t.dirty ?file ?limit () in
-  Sim.Costbuf.add buf "writeback" dcost;
-  let frames =
-    List.filter_map
-      (fun (key, fno) ->
-        let fr = t.arr.(fno) in
-        if fr.key = key && fr.dirty then Some fr else None)
-      entries
-  in
-  let vpns =
-    List.filter_map
-      (fun (fr : frame) ->
-        if fr.vpn >= 0 then begin
-          (try Hw.Page_table.set_writable t.pt ~vpn:fr.vpn false
-           with Not_found -> ());
-          Sim.Costbuf.add buf "writeback" c.pte_update;
-          Some fr.vpn
-        end
-        else None)
-      frames
-  in
-  invalidate_mappings t ~core ~vpns buf;
-  List.iter (fun (fr : frame) -> fr.dirty <- false) frames;
-  writeback_frames t frames buf;
-  Sim.Costbuf.charge buf
+  if Dirty_set.total t.dirty = 0 then []
+    (* nothing dirty: no drain, no PTE walk, no shootdown, no I/O *)
+  else begin
+    let c = t.costs in
+    let buf = Sim.Costbuf.create () in
+    let entries, dcost = Dirty_set.drain_sorted t.dirty ?file ?limit () in
+    Sim.Costbuf.add buf "writeback" dcost;
+    let frames =
+      List.filter_map
+        (fun (key, fno) ->
+          let fr = t.arr.(fno) in
+          if fr.key = key && fr.dirty then Some fr else None)
+        entries
+    in
+    (* [wb_protect = false] is a deliberately broken variant for the
+       crash-consistency checker: skipping the write-protect means later
+       stores never re-fault, never re-dirty, and the next msync silently
+       misses them — faultcheck must catch exactly this. *)
+    let vpns =
+      if not t.cfg.wb_protect then []
+      else
+        List.filter_map
+          (fun (fr : frame) ->
+            if fr.vpn >= 0 then begin
+              (try Hw.Page_table.set_writable t.pt ~vpn:fr.vpn false
+               with Not_found -> ());
+              Sim.Costbuf.add buf "writeback" c.pte_update;
+              Some fr.vpn
+            end
+            else None)
+          frames
+    in
+    invalidate_mappings t ~core ~vpns buf;
+    List.iter (fun (fr : frame) -> fr.dirty <- false) frames;
+    let failed = writeback_frames t frames buf in
+    if frames <> [] then note_wb_outcome t ~failed:(List.length failed);
+    requeue_failed_dirty t buf failed;
+    Sim.Costbuf.charge buf;
+    failed
+  end
 
-let msync t ~core ?file () = clean t ~core ?file ()
+let msync t ~core ?file () =
+  match clean t ~core ?file () with
+  | [] -> ()
+  | ((fr : frame), e) :: _ ->
+      (* the page is still dirty and resident; the caller must not treat
+         this msync as an acknowledgement *)
+      let file = Pagekey.file_of fr.key in
+      let dev = Sdevice.Access.name (backend_of t file).access in
+      raise
+        (Fault.Io_error
+           { dev; write = true; page = Pagekey.page_of fr.key; error = e })
 
 (* Background cleaner (the lazy write-back strategy of Section 7.2): when
    the dirty-page count crosses [hi], a daemon fiber drains the per-core
@@ -483,8 +611,23 @@ let spawn_writeback_daemon t ~eng ?(hi = 256) ?(lo = 64) ?(core = 0) () =
            (match t.wb_daemon with
            | None -> continue_ := false
            | Some (_, lo) ->
-               while Dirty_set.total t.dirty > lo do
-                 clean t ~core ~limit:64 ()
+               let backoff = ref 0L in
+               while
+                 Dirty_set.total t.dirty > lo
+                 && (not t.read_only)
+                 && t.wb_daemon <> None
+               do
+                 match clean t ~core ~limit:64 () with
+                 | [] -> backoff := 0L
+                 | _failures ->
+                     (* device trouble: back off exponentially before
+                        hammering it again (degradation to read-only
+                        eventually breaks the loop in a storm) *)
+                     backoff :=
+                       (if Int64.equal !backoff 0L then 100_000L
+                        else Int64.min (Int64.mul !backoff 2L) 10_000_000L);
+                     Sim.Engine.idle_wait !backoff;
+                     Sim.Engine.label_add "wb_backoff" !backoff
                done)
          done))
 
@@ -528,11 +671,24 @@ let drop_file t ~core ~file_id =
       frames
   in
   invalidate_mappings t ~core ~vpns buf;
-  writeback_frames t dirty_frames buf;
+  let failed = writeback_frames t dirty_frames buf in
+  if dirty_frames <> [] then note_wb_outcome t ~failed:(List.length failed);
+  (* write-back casualties stay resident and dirty rather than being
+     dropped with unsaved data (the next msync/daemon round retries) *)
+  requeue_failed_dirty t buf failed;
+  List.iter
+    (fun ((fr : frame), _e) ->
+      ignore (Dstruct.Lockfree_hash.insert t.index fr.key fr);
+      Sim.Costbuf.add buf "evict" c.hash_update;
+      Dstruct.Clock_lru.set_active t.lru fr.fno true)
+    failed;
+  let failed_frames = List.map fst failed in
   List.iter
     (fun (fr : frame) ->
-      fr.key <- -1;
-      Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core fr.fno))
+      if not (List.memq fr failed_frames) then begin
+        fr.key <- -1;
+        Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core fr.fno)
+      end)
     frames;
   Sim.Costbuf.charge buf
 
@@ -555,7 +711,10 @@ let crash t =
         Freelist.add_frame t.fl ~node:(fr.fno mod topo.Hw.Topology.nodes) fr.fno
       end)
     t.arr;
-  Hashtbl.reset t.inflight
+  Hashtbl.reset t.inflight;
+  (* the restarted instance starts with a clean bill of health *)
+  t.read_only <- false;
+  t.wb_fail_streak <- 0
 
 let grow t ~frames =
   let topo = Hw.Machine.topology t.machine in
@@ -605,3 +764,6 @@ let read_ios t = t.s_read_ios
 let read_pages t = t.s_read_pages
 let inflight_waits t = t.s_inflight_waits
 let dirty_pages t = Dirty_set.total t.dirty
+let wb_errors t = t.s_wb_errors
+let sigbus_count t = t.s_sigbus
+let degraded t = t.read_only

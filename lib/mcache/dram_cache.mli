@@ -27,12 +27,18 @@ type config = {
   writeback_merge : int;  (** max pages merged into one write I/O *)
   ipi_mode : Hw.Ipi.send_mode;  (** how shootdown IPIs are sent *)
   readahead : int;  (** pages prefetched after a missing page *)
+  wb_protect : bool;
+      (** write-protect PTEs after write-back (default true).  [false] is
+          a {e deliberately broken} variant kept for the crash-consistency
+          checker: stores after an msync no longer re-dirty their pages,
+          so later msyncs silently miss them — [aquila_cli faultcheck]
+          must catch the resulting durability violation. *)
 }
 
 val default_config : frames:int -> config
 (** Paper-flavoured defaults scaled to the simulation (see DESIGN.md §2):
     eviction batch = frames/64 (min 16), core queues 512, move batch 256,
-    merge 64, vmexit-send IPIs, no readahead. *)
+    merge 64, vmexit-send IPIs, no readahead, write-protect on. *)
 
 type t
 
@@ -65,7 +71,14 @@ val fault :
     configured window (madvise-driven policy).  Must run inside a fiber;
     charges
     all software costs with per-label attribution ("index", "alloc",
-    "evict", "tlb", "map", "writeback" plus the I/O labels). *)
+    "evict", "tlb", "map", "writeback" plus the I/O labels).
+
+    Failure semantics under an active {!Fault} plan: an unrecoverable
+    device read (after the access layer's retries) raises {!Fault.Sigbus}
+    — mirroring the SIGBUS a real mmap delivers on a media error — after
+    releasing the frame and waking piggybacked faulters.  A write fault
+    on a cache degraded to read-only (see {!degraded}) raises
+    {!Fault.Read_only}. *)
 
 val pfn_data : t -> int -> Bytes.t
 (** [pfn_data t pfn] is the data of cache frame [pfn] (the data plane:
@@ -85,7 +98,13 @@ val msync : t -> core:int -> ?file:int -> unit -> unit
 (** [msync t ~core ()] writes back all dirty pages (optionally one file's)
     in ascending offset order with merged I/Os, write-protects their PTEs
     again (so future writes re-mark them dirty), and issues one batched
-    shootdown.  Charges its costs; must run inside a fiber. *)
+    shootdown.  Charges its costs; must run inside a fiber.
+
+    A clean cache (empty dirty set) returns immediately without draining,
+    protecting or issuing any device write.  If a write-back still fails
+    after retries, the failed pages {e stay dirty and resident} and
+    {!Fault.Io_error} is raised — the msync must not be taken as an
+    acknowledgement (real msync returns EIO). *)
 
 val spawn_writeback_daemon :
   t -> eng:Sim.Engine.t -> ?hi:int -> ?lo:int -> ?core:int -> unit -> unit
@@ -131,3 +150,15 @@ val read_ios : t -> int
 val read_pages : t -> int
 val inflight_waits : t -> int
 val dirty_pages : t -> int
+
+val wb_errors : t -> int
+(** Pages whose write-back failed after retries (each kept dirty). *)
+
+val sigbus_count : t -> int
+(** Unrecoverable read errors delivered as {!Fault.Sigbus}. *)
+
+val degraded : t -> bool
+(** [true] once an error storm ({!wb_errors} on consecutive rounds)
+    switched the cache to read-only: write faults raise
+    {!Fault.Read_only} while reads keep being served.  {!crash} (a
+    restart) resets it. *)

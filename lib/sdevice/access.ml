@@ -2,8 +2,8 @@ type entry = From_user | From_guest | In_kernel
 
 type t = {
   aname : string;
-  do_read : page:int -> count:int -> dst:Bytes.t -> unit;
-  do_write : page:int -> count:int -> src:Bytes.t -> unit;
+  do_read : page:int -> count:int -> dst:Bytes.t -> (unit, Fault.error) result;
+  do_write : page:int -> count:int -> src:Bytes.t -> (unit, Fault.error) result;
 }
 
 let psz = Hw.Defs.page_size
@@ -21,17 +21,48 @@ let entry_cost (c : Hw.Costs.t) = function
 let addr_of page = Int64.mul (Int64.of_int page) (Int64.of_int psz)
 
 let dax_pmem costs ?(simd = true) pmem =
+  let aname = if simd then "DAX-pmem" else "DAX-pmem-scalar" in
+  (* DAX copies complete synchronously, but NVM media errors are as real
+     as NVMe ones (machine-check on load, failed store): consult the
+     plan per copy.  A torn injection models an interrupted NT-store
+     sequence — a page-aligned prefix of the span lands. *)
   let rw ~write ~page ~count buf =
-    let len = count * psz in
-    let cost =
-      if write then
-        Pmem.dax_write pmem costs ~simd ~addr:(addr_of page) ~src:buf ~src_off:0 ~len
-      else Pmem.dax_read pmem costs ~simd ~addr:(addr_of page) ~len ~dst:buf ~dst_off:0
+    let charge cost = Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_memcpy" cost in
+    let copy len =
+      if len > 0 then
+        if write then
+          charge (Pmem.dax_write pmem costs ~simd ~addr:(addr_of page) ~src:buf ~src_off:0 ~len)
+        else
+          charge (Pmem.dax_read pmem costs ~simd ~addr:(addr_of page) ~len ~dst:buf ~dst_off:0)
     in
-    Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_memcpy" cost
+    match Fault.active () with
+    | None ->
+        copy (count * psz);
+        Ok ()
+    | Some plan ->
+        if write then (
+          match Fault.draw_write plan ~dev:aname ~page ~count with
+          | Fault.W_ok ->
+              copy (count * psz);
+              Ok ()
+          | Fault.W_error e ->
+              if Trace.on () then Sim.Probe.instant ~cat:"fault" "write_error";
+              Error e
+          | Fault.W_torn keep ->
+              if Trace.on () then Sim.Probe.instant ~cat:"fault" "torn_write";
+              copy (keep * psz);
+              Error Fault.Transient)
+        else (
+          match Fault.draw_read plan ~dev:aname ~page ~count with
+          | Some e ->
+              if Trace.on () then Sim.Probe.instant ~cat:"fault" "read_error";
+              Error e
+          | None ->
+              copy (count * psz);
+              Ok ())
   in
   {
-    aname = (if simd then "DAX-pmem" else "DAX-pmem-scalar");
+    aname;
     do_read = (fun ~page ~count ~dst -> rw ~write:false ~page ~count dst);
     do_write = (fun ~page ~count ~src -> rw ~write:true ~page ~count src);
   }
@@ -47,13 +78,13 @@ let spdk_nvme (costs : Hw.Costs.t) dev =
     do_read =
       (fun ~page ~count ~dst ->
         submit ();
-        Block_dev.read ~polling:true dev ~addr:(addr_of page) ~len:(count * psz)
-          ~dst ~dst_off:0);
+        Block_dev.read_result ~polling:true dev ~addr:(addr_of page)
+          ~len:(count * psz) ~dst ~dst_off:0);
     do_write =
       (fun ~page ~count ~src ->
         submit ();
-        Block_dev.write ~polling:true dev ~addr:(addr_of page) ~src ~src_off:0
-          ~len:(count * psz));
+        Block_dev.write_result ~polling:true dev ~addr:(addr_of page) ~src
+          ~src_off:0 ~len:(count * psz));
   }
 
 let host_block ~aname (costs : Hw.Costs.t) ~entry ~wakeup ?(bounce = false) dev =
@@ -84,13 +115,21 @@ let host_block ~aname (costs : Hw.Costs.t) ~entry ~wakeup ?(bounce = false) dev 
     do_read =
       (fun ~page ~count ~dst ->
         prologue ();
-        Block_dev.read dev ~addr:(addr_of page) ~len:(count * psz) ~dst ~dst_off:0;
-        epilogue ());
+        let r =
+          Block_dev.read_result dev ~addr:(addr_of page) ~len:(count * psz) ~dst
+            ~dst_off:0
+        in
+        epilogue ();
+        r);
     do_write =
       (fun ~page ~count ~src ->
         prologue ();
-        Block_dev.write dev ~addr:(addr_of page) ~src ~src_off:0 ~len:(count * psz);
-        epilogue ());
+        let r =
+          Block_dev.write_result dev ~addr:(addr_of page) ~src ~src_off:0
+            ~len:(count * psz)
+        in
+        epilogue ();
+        r);
   }
 
 (* io_uring: one submission syscall covers a batch of SQEs; completions
@@ -111,11 +150,13 @@ let uring_nvme (costs : Hw.Costs.t) ~entry dev =
     do_read =
       (fun ~page ~count ~dst ->
         prologue ();
-        Block_dev.read dev ~addr:(addr_of page) ~len:(count * psz) ~dst ~dst_off:0);
+        Block_dev.read_result dev ~addr:(addr_of page) ~len:(count * psz) ~dst
+          ~dst_off:0);
     do_write =
       (fun ~page ~count ~src ->
         prologue ();
-        Block_dev.write dev ~addr:(addr_of page) ~src ~src_off:0 ~len:(count * psz));
+        Block_dev.write_result dev ~addr:(addr_of page) ~src ~src_off:0
+          ~len:(count * psz));
   }
 
 let host_pmem costs ~entry pmem =
@@ -127,17 +168,58 @@ let host_pmem costs ~entry pmem =
 let host_nvme costs ~entry dev =
   host_block ~aname:"HOST-NVMe" costs ~entry ~wakeup:true dev
 
-let read_pages t ~page ~count ~dst =
+(* Retry policy (DESIGN.md §7): transient failures are retried up to
+   [max_attempts] times with exponential backoff in virtual time —
+   20k cycles (~8 µs at 2.6 GHz), doubling per attempt, charged as idle
+   under the "io_retry" label.  Permanent failures and exhausted retries
+   surface to the caller. *)
+let max_attempts = 5
+let backoff_base = 20_000L
+
+let rec attempt_io ~write t ~page ~count ~buf n =
+  let r =
+    if write then t.do_write ~page ~count ~src:buf
+    else t.do_read ~page ~count ~dst:buf
+  in
+  match r with
+  | Ok () -> Ok ()
+  | Error Fault.Permanent as e -> e
+  | Error Fault.Transient as e ->
+      if n >= max_attempts then e
+      else begin
+        (match Fault.active () with Some p -> Fault.note_retry p | None -> ());
+        if Trace.on () then Sim.Probe.instant ~cat:"fault" "io_retry";
+        let backoff = Int64.mul backoff_base (Int64.shift_left 1L (n - 1)) in
+        Sim.Engine.idle_wait backoff;
+        Sim.Engine.label_add "io_retry" backoff;
+        attempt_io ~write t ~page ~count ~buf (n + 1)
+      end
+
+let read_pages_result t ~page ~count ~dst =
   check ~count ~buf:dst;
   let t0 = Sim.Probe.span_start () in
-  t.do_read ~page ~count ~dst;
-  Sim.Probe.span_since ~cat:"sdevice" ~value:(Int64.of_int count) ~t0 "dev_read"
+  let r = attempt_io ~write:false t ~page ~count ~buf:dst 1 in
+  Sim.Probe.span_since ~cat:"sdevice" ~value:(Int64.of_int count) ~t0 "dev_read";
+  r
 
-let write_pages t ~page ~count ~src =
+let write_pages_result t ~page ~count ~src =
   check ~count ~buf:src;
   let t0 = Sim.Probe.span_start () in
-  t.do_write ~page ~count ~src;
-  Sim.Probe.span_since ~cat:"sdevice" ~value:(Int64.of_int count) ~t0 "dev_write"
+  let r = attempt_io ~write:true t ~page ~count ~buf:src 1 in
+  Sim.Probe.span_since ~cat:"sdevice" ~value:(Int64.of_int count) ~t0 "dev_write";
+  r
+
+let read_pages t ~page ~count ~dst =
+  match read_pages_result t ~page ~count ~dst with
+  | Ok () -> ()
+  | Error e ->
+      raise (Fault.Io_error { dev = t.aname; write = false; page; error = e })
+
+let write_pages t ~page ~count ~src =
+  match write_pages_result t ~page ~count ~src with
+  | Ok () -> ()
+  | Error e ->
+      raise (Fault.Io_error { dev = t.aname; write = true; page; error = e })
 
 let read_page t ~page ~dst = read_pages t ~page ~count:1 ~dst
 let write_page t ~page ~src = write_pages t ~page ~count:1 ~src

@@ -50,9 +50,24 @@ val uring_nvme : Hw.Costs.t -> entry:entry -> Block_dev.t -> t
 val read_pages : t -> page:int -> count:int -> dst:Bytes.t -> unit
 (** [read_pages a ~page ~count ~dst] reads device pages
     [page .. page+count-1] into [dst] (which must hold [count] pages),
-    charging every cost on the method's path.  Must run inside a fiber. *)
+    charging every cost on the method's path.  Must run inside a fiber.
+
+    Under an active {!Fault} plan, transient device failures are retried
+    up to 5 times with exponential virtual-time backoff (20k cycles
+    doubling per attempt, idle cycles under the "io_retry" label);
+    permanent failures and exhausted retries raise {!Fault.Io_error}. *)
 
 val write_pages : t -> page:int -> count:int -> src:Bytes.t -> unit
+
+val read_pages_result :
+  t -> page:int -> count:int -> dst:Bytes.t -> (unit, Fault.error) result
+(** Like {!read_pages} (including the retry policy) but reports the
+    final failure as [Error] — for callers with their own degradation
+    path (the cache's write-back keeps failed pages dirty instead of
+    unwinding). *)
+
+val write_pages_result :
+  t -> page:int -> count:int -> src:Bytes.t -> (unit, Fault.error) result
 
 val read_page : t -> page:int -> dst:Bytes.t -> unit
 val write_page : t -> page:int -> src:Bytes.t -> unit

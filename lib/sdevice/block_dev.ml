@@ -1,3 +1,5 @@
+let psz = Hw.Defs.page_size
+
 type t = {
   dname : string;
   qd_name : string; (* precomputed counter label: no allocation per event *)
@@ -10,6 +12,10 @@ type t = {
   mutable nwrites : int;
   mutable rbytes : int64;
   mutable wbytes : int64;
+  mutable nread_errors : int;
+  mutable nwrite_errors : int;
+  mutable ntorn : int;
+  mutable nspikes : int;
 }
 
 let create ~name ~channels ~setup_cycles ~cycles_per_byte ~capacity_bytes () =
@@ -25,6 +31,10 @@ let create ~name ~channels ~setup_cycles ~cycles_per_byte ~capacity_bytes () =
     nwrites = 0;
     rbytes = 0L;
     wbytes = 0L;
+    nread_errors = 0;
+    nwrite_errors = 0;
+    ntorn = 0;
+    nspikes = 0;
   }
 
 let name t = t.dname
@@ -39,15 +49,28 @@ let check_range t addr len =
      || Int64.compare (Int64.add addr (Int64.of_int len)) t.cap > 0
   then invalid_arg (t.dname ^ ": I/O outside device capacity")
 
+(* First device page and page count a byte span touches — the units the
+   fault plan reasons in. *)
+let page_span addr len =
+  let p = Int64.of_int psz in
+  let p0 = Int64.to_int (Int64.div addr p) in
+  let last = Int64.add addr (Int64.of_int (max 0 (len - 1))) in
+  let p1 = Int64.to_int (Int64.div last p) in
+  (p0, p1 - p0 + 1)
+
 (* The submit→complete span covers queueing for a device channel plus the
-   transfer itself; the counter samples channel occupancy at dispatch. *)
-let occupy t ~polling ~len =
+   transfer itself; the counter samples channel occupancy at dispatch.
+   [spike] stretches the service time (injected latency spike). *)
+let occupy t ~polling ~len ~spike =
   let io0 = Sim.Probe.span_start () in
   Sim.Sync.Resource.acquire t.channels;
   if Trace.on () then
     Sim.Probe.counter ~cat:"sdevice" t.qd_name
       (Int64.of_int (Sim.Sync.Resource.in_use t.channels));
   let service = service_time t ~len in
+  let service =
+    if spike > 1 then Int64.mul service (Int64.of_int spike) else service
+  in
   if polling then Sim.Engine.delay ~cat:Sim.Engine.Sys ~label:"io_device" service
   else begin
     Sim.Engine.idle_wait service;
@@ -56,22 +79,98 @@ let occupy t ~polling ~len =
   Sim.Sync.Resource.release t.channels;
   Sim.Probe.span_since ~cat:"sdevice" ~value:(Int64.of_int len) ~t0:io0 t.dname
 
-let read ?(polling = false) t ~addr ~len ~dst ~dst_off =
-  check_range t addr len;
-  occupy t ~polling ~len;
-  Pagestore.read_bytes t.dstore ~addr ~len ~dst ~dst_off;
-  t.nreads <- t.nreads + 1;
-  t.rbytes <- Int64.add t.rbytes (Int64.of_int len)
+let spike_of t plan =
+  let s = Fault.draw_spike plan in
+  if s > 1 then begin
+    t.nspikes <- t.nspikes + 1;
+    if Trace.on () then Sim.Probe.instant ~cat:"fault" "latency_spike"
+  end;
+  s
 
-let write ?(polling = false) t ~addr ~src ~src_off ~len =
+let read_result ?(polling = false) t ~addr ~len ~dst ~dst_off =
   check_range t addr len;
-  occupy t ~polling ~len;
-  Pagestore.write_bytes t.dstore ~addr ~src ~src_off ~len;
-  t.nwrites <- t.nwrites + 1;
-  t.wbytes <- Int64.add t.wbytes (Int64.of_int len)
+  match Fault.active () with
+  | None ->
+      occupy t ~polling ~len ~spike:1;
+      Pagestore.read_bytes t.dstore ~addr ~len ~dst ~dst_off;
+      t.nreads <- t.nreads + 1;
+      t.rbytes <- Int64.add t.rbytes (Int64.of_int len);
+      Ok ()
+  | Some plan -> (
+      let page, count = page_span addr len in
+      occupy t ~polling ~len ~spike:(spike_of t plan);
+      match Fault.draw_read plan ~dev:t.dname ~page ~count with
+      | Some e ->
+          t.nread_errors <- t.nread_errors + 1;
+          if Trace.on () then Sim.Probe.instant ~cat:"fault" "read_error";
+          Error e
+      | None ->
+          Pagestore.read_bytes t.dstore ~addr ~len ~dst ~dst_off;
+          t.nreads <- t.nreads + 1;
+          t.rbytes <- Int64.add t.rbytes (Int64.of_int len);
+          Ok ())
+
+(* The store is only mutated once the channel occupancy completed: an
+   injected [Crash] mid-service aborts before any byte lands, so an
+   in-flight write is all-or-nothing.  Partial persistence only ever
+   comes from an explicit torn-write injection, which persists a page
+   prefix of the span and then reports a transient error. *)
+let write_result ?(polling = false) t ~addr ~src ~src_off ~len =
+  check_range t addr len;
+  match Fault.active () with
+  | None ->
+      occupy t ~polling ~len ~spike:1;
+      Pagestore.write_bytes t.dstore ~addr ~src ~src_off ~len;
+      t.nwrites <- t.nwrites + 1;
+      t.wbytes <- Int64.add t.wbytes (Int64.of_int len);
+      Ok ()
+  | Some plan -> (
+      let page, count = page_span addr len in
+      occupy t ~polling ~len ~spike:(spike_of t plan);
+      match Fault.draw_write plan ~dev:t.dname ~page ~count with
+      | Fault.W_ok ->
+          Pagestore.write_bytes t.dstore ~addr ~src ~src_off ~len;
+          t.nwrites <- t.nwrites + 1;
+          t.wbytes <- Int64.add t.wbytes (Int64.of_int len);
+          Ok ()
+      | Fault.W_error e ->
+          t.nwrite_errors <- t.nwrite_errors + 1;
+          if Trace.on () then Sim.Probe.instant ~cat:"fault" "write_error";
+          Error e
+      | Fault.W_torn keep ->
+          let keep_bytes =
+            let span_end = Int64.of_int ((page + keep) * psz) in
+            max 0 (min len (Int64.to_int (Int64.sub span_end addr)))
+          in
+          if keep_bytes > 0 then
+            Pagestore.write_bytes t.dstore ~addr ~src ~src_off ~len:keep_bytes;
+          t.nwrite_errors <- t.nwrite_errors + 1;
+          t.ntorn <- t.ntorn + 1;
+          if Trace.on () then Sim.Probe.instant ~cat:"fault" "torn_write";
+          Error Fault.Transient)
+
+let read ?polling t ~addr ~len ~dst ~dst_off =
+  match read_result ?polling t ~addr ~len ~dst ~dst_off with
+  | Ok () -> ()
+  | Error e ->
+      raise
+        (Fault.Io_error
+           { dev = t.dname; write = false; page = fst (page_span addr len); error = e })
+
+let write ?polling t ~addr ~src ~src_off ~len =
+  match write_result ?polling t ~addr ~src ~src_off ~len with
+  | Ok () -> ()
+  | Error e ->
+      raise
+        (Fault.Io_error
+           { dev = t.dname; write = true; page = fst (page_span addr len); error = e })
 
 let reads t = t.nreads
 let writes t = t.nwrites
 let bytes_read t = t.rbytes
 let bytes_written t = t.wbytes
+let read_errors t = t.nread_errors
+let write_errors t = t.nwrite_errors
+let torn_writes t = t.ntorn
+let latency_spikes t = t.nspikes
 let queued_cycles t = Sim.Sync.Resource.queued_cycles t.channels

@@ -32,13 +32,43 @@ val service_time : t -> len:int -> int64
 val read : ?polling:bool -> t -> addr:int64 -> len:int -> dst:Bytes.t -> dst_off:int -> unit
 (** [read t ~addr ~len ~dst ~dst_off] performs a blocking device read:
     queues for a channel, waits the service time, then materializes the
-    data from the backing store.  Must run inside a fiber. *)
+    data from the backing store.  Must run inside a fiber.  Raises
+    {!Fault.Io_error} when the active fault plan fails the I/O. *)
 
 val write : ?polling:bool -> t -> addr:int64 -> src:Bytes.t -> src_off:int -> len:int -> unit
+
+val read_result :
+  ?polling:bool -> t -> addr:int64 -> len:int -> dst:Bytes.t -> dst_off:int ->
+  (unit, Fault.error) result
+(** Like {!read} but reports injected failures as [Error] instead of
+    raising.  The channel occupancy (and any injected latency spike) is
+    charged either way — the device took the time before reporting the
+    error. *)
+
+val write_result :
+  ?polling:bool -> t -> addr:int64 -> src:Bytes.t -> src_off:int -> len:int ->
+  (unit, Fault.error) result
+(** Like {!write} as a [result].  Store bytes are only mutated after the
+    service time completes, so writes are all-or-nothing under a crash;
+    a torn-write injection persists a page-aligned prefix of the span
+    and reports [Error Transient]. *)
 
 val reads : t -> int
 val writes : t -> int
 val bytes_read : t -> int64
 val bytes_written : t -> int64
+
+(** {1 Fault counters} — injected by the active {!Fault} plan. *)
+
+val read_errors : t -> int
+val write_errors : t -> int
+(** Failed I/Os (completed reads/writes are counted by {!reads}/{!writes}
+    only on success). *)
+
+val torn_writes : t -> int
+(** Writes that persisted only a prefix (a subset of {!write_errors}). *)
+
+val latency_spikes : t -> int
+
 val queued_cycles : t -> int64
 (** Total cycles requests spent queueing behind busy channels. *)

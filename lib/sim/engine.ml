@@ -100,6 +100,9 @@ type t = {
       (* fast-path trampoline: a delay whose wake-up provably precedes
          every queued event skips the queue; the run loop continues it
          directly, keeping the native stack flat *)
+  mutable on_event : (int -> unit) option;
+      (* called with the event ordinal after every event (queued or
+         fast-pathed); may raise to abort the run at an event boundary *)
   engine_rng : Rng.t;
   blocked : (int, ctx) Hashtbl.t; (* fibers parked in Suspend, by fid *)
   it : interns;
@@ -121,6 +124,16 @@ type _ Effect.t +=
    drive fibers manually). *)
 let ambient_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
+(* Domain-local event hook, picked up by engines created afterwards in
+   the same domain (fault plans install their crash trigger here before
+   the experiment builds its engine).  Kept in the engine record so the
+   per-event disabled cost is one field load and branch, not a DLS
+   lookup. *)
+let event_hook_key : (int -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_domain_event_hook h = Domain.DLS.get event_hook_key := h
+
 let create ?(seed = 42) ?(fastpath = true) () =
   {
     now = 0;
@@ -132,6 +145,7 @@ let create ?(seed = 42) ?(fastpath = true) () =
     nevents = 0;
     fastpath;
     pending = None;
+    on_event = !(Domain.DLS.get event_hook_key);
     engine_rng = Rng.create seed;
     blocked = Hashtbl.create 64;
     it = interns_create ();
@@ -141,6 +155,7 @@ let now t = Int64.of_int t.now
 let rng t = t.engine_rng
 let events t = t.nevents
 let live_fibers t = t.live
+let set_event_hook t h = t.on_event <- h
 
 let blocked_fibers t =
   Hashtbl.fold
@@ -148,6 +163,31 @@ let blocked_fibers t =
     t.blocked []
   |> List.sort (fun a b -> Int.compare a.fid b.fid)
   |> List.map (fun ctx -> (ctx.core, ctx.name))
+
+(* Deadlock diagnosis: everything known about each parked fiber, daemons
+   included, with the per-label cycle breakdown — a fiber stuck in
+   "io_retry" reads very differently from one stuck in "lock". *)
+let blocked_report t =
+  let parked =
+    Hashtbl.fold (fun _ ctx acc -> ctx :: acc) t.blocked []
+    |> List.sort (fun a b -> Int.compare a.fid b.fid)
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%d fiber(s) blocked at t=%d:\n" (List.length parked) t.now);
+  List.iter
+    (fun ctx ->
+      Buffer.add_string b
+        (Printf.sprintf "  fiber %d %S core %d%s: user=%d sys=%d idle=%d cycles\n"
+           ctx.fid ctx.name ctx.core
+           (if ctx.daemon then " [daemon]" else "")
+           ctx.user ctx.sys ctx.idle);
+      List.iter
+        (fun (label, cycles) ->
+          Buffer.add_string b (Printf.sprintf "    %-18s %Ld\n" label cycles))
+        (labels ctx))
+    parked;
+  Buffer.contents b
 
 (* Tracing: every hook is behind a [Trace.live_tracers] check so the
    disabled path is one plain load and branch per site. *)
@@ -302,6 +342,7 @@ let run t =
             (* clock and current fiber were set when the delay fast-pathed *)
             t.pending <- None;
             t.nevents <- t.nevents + 1;
+            (match t.on_event with None -> () | Some f -> f t.nevents);
             Effect.Deep.continue k ()
         | None ->
             if Pqueue.is_empty t.q then continue_ := false
@@ -309,6 +350,7 @@ let run t =
               t.now <- Pqueue.min_time t.q;
               let thunk = Pqueue.pop_min t.q in
               t.nevents <- t.nevents + 1;
+              (match t.on_event with None -> () | Some f -> f t.nevents);
               thunk ()
             end
       done)
@@ -337,7 +379,8 @@ let delay ?(cat = User) ?label c =
          | None -> ());
       t.seq <- t.seq + 1;
       t.nevents <- t.nevents + 1;
-      t.now <- t.now + c
+      t.now <- t.now + c;
+      (match t.on_event with None -> () | Some f -> f t.nevents)
   | _ -> Effect.perform (Delay (cat, label, c))
 
 let idle_wait c =
@@ -350,7 +393,8 @@ let idle_wait c =
       if Atomic.get Trace.live_tracers > 0 then trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx "idle";
       t.seq <- t.seq + 1;
       t.nevents <- t.nevents + 1;
-      t.now <- t.now + c
+      t.now <- t.now + c;
+      (match t.on_event with None -> () | Some f -> f t.nevents)
   | _ -> Effect.perform (Timed_wait c)
 
 let suspend register = Effect.perform (Suspend register)

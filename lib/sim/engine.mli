@@ -78,6 +78,26 @@ val blocked_fibers : t -> (int * string) list
     After {!run} drains with [live_fibers t > 0], this names the deadlocked
     fibers instead of leaving users to guess. *)
 
+val blocked_report : t -> string
+(** [blocked_report t] is a multi-line deadlock report: every parked
+    fiber (daemons flagged), its core and user/sys/idle cycle totals,
+    and its per-label cost breakdown ({!labels}) — so a fiber hung in a
+    fault-injection retry loop ("io_retry") is distinguishable from one
+    waiting on a lock.  See README "Debugging deadlocks". *)
+
+val set_event_hook : t -> (int -> unit) option -> unit
+(** [set_event_hook t (Some f)] calls [f nevents] after every event —
+    queued or fast-pathed — at the exact same ordinals either way.  [f]
+    may raise to abort the run at an event boundary (fault-injection
+    crashes); the exception propagates out of {!run}.  [None] (the
+    default) costs one field load and branch per event. *)
+
+val set_domain_event_hook : (int -> unit) option -> unit
+(** Domain-local default for {!set_event_hook}, captured by engines at
+    {!create} time — lets an ambient fault plan arm its crash trigger
+    before the experiment constructs its engine.  Clearing it does not
+    affect engines already created. *)
+
 val spawn : t -> ?name:string -> ?core:int -> ?daemon:bool -> (unit -> unit) -> ctx
 (** [spawn t f] schedules fiber [f] to start at the current virtual time and
     returns its context.  [core] (default 0) pins the fiber; [daemon]

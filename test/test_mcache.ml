@@ -332,6 +332,88 @@ let crash_loses_unsynced_data () =
       Alcotest.(check char) "unsynced data lost" '\000'
         (Bytes.get (Mcache.Dram_cache.pfn_data r.cache pte2.Hw.Page_table.pfn) 0))
 
+let msync_clean_cache_is_free () =
+  (* msync with nothing dirty must not touch the device — no write-back
+     I/O and no page-table walk.  Kreon's commit protocol relies on this:
+     its second msync (superblock only) must not re-flush the world. *)
+  let r = make_rig () in
+  in_sim (fun () ->
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 4) ~vpn:950 ~write:false ();
+      Mcache.Dram_cache.msync r.cache ~core:0 ();
+      checki "no writeback io" 0 (Mcache.Dram_cache.writeback_ios r.cache);
+      checki "no pages written" 0 (Mcache.Dram_cache.writeback_pages r.cache);
+      (* a dirty page still flushes *)
+      Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key 4) ~vpn:950 ~write:true ();
+      Mcache.Dram_cache.msync r.cache ~core:0 ();
+      checki "dirty page flushed" 1 (Mcache.Dram_cache.writeback_ios r.cache))
+
+(* Random write/msync interleavings: after a power cut, the device must
+   hold exactly the bytes of the last completed msync for every page —
+   later writes gone, synced writes intact.  64 frames >> 16 pages, so no
+   eviction ever writes back behind the model's back. *)
+type crash_op = C_write of int * char | C_msync
+
+let crash_keeps_exactly_synced =
+  let npages = 16 in
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 4,
+            map2
+              (fun p c -> C_write (p, Char.chr (65 + c)))
+              (int_bound (npages - 1)) (int_bound 25) );
+          (1, return C_msync);
+        ])
+  in
+  let print_op = function
+    | C_write (p, ch) -> Printf.sprintf "write %d %c" p ch
+    | C_msync -> "msync"
+  in
+  let ops_arb =
+    QCheck.make
+      ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+      QCheck.Gen.(list_size (int_range 1 40) op_gen)
+  in
+  QCheck.Test.make ~name:"crash keeps exactly the msynced bytes" ~count:30
+    ops_arb
+    (fun ops ->
+      let r = make_rig ~frames:64 () in
+      let latest = Array.make npages '\000' in
+      let synced = Array.make npages '\000' in
+      in_sim (fun () ->
+          List.iter
+            (function
+              | C_write (p, ch) ->
+                  Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p)
+                    ~vpn:(3000 + p) ~write:true ();
+                  let pte =
+                    Option.get (Hw.Page_table.find r.pt ~vpn:(3000 + p))
+                  in
+                  Bytes.fill
+                    (Mcache.Dram_cache.pfn_data r.cache pte.Hw.Page_table.pfn)
+                    0 psz ch;
+                  latest.(p) <- ch
+              | C_msync ->
+                  Mcache.Dram_cache.msync r.cache ~core:0 ();
+                  Array.blit latest 0 synced 0 npages)
+            ops);
+      Mcache.Dram_cache.crash r.cache;
+      let ok = ref true in
+      in_sim (fun () ->
+          for p = 0 to npages - 1 do
+            Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p) ~vpn:(4000 + p)
+              ~write:false ();
+            let pte = Option.get (Hw.Page_table.find r.pt ~vpn:(4000 + p)) in
+            let got =
+              Bytes.get
+                (Mcache.Dram_cache.pfn_data r.cache pte.Hw.Page_table.pfn)
+                0
+            in
+            if got <> synced.(p) then ok := false
+          done);
+      !ok)
+
 let unregistered_file_rejected () =
   let r = make_rig () in
   Alcotest.check_raises "unknown file" (Invalid_argument "Dram_cache: unregistered file 9")
@@ -375,6 +457,8 @@ let () =
           Alcotest.test_case "grow/shrink" `Quick grow_shrink;
           Alcotest.test_case "writeback daemon" `Quick writeback_daemon_cleans_in_background;
           Alcotest.test_case "crash loses unsynced" `Quick crash_loses_unsynced_data;
+          Alcotest.test_case "msync on clean cache" `Quick msync_clean_cache_is_free;
+          QCheck_alcotest.to_alcotest crash_keeps_exactly_synced;
           Alcotest.test_case "unregistered file" `Quick unregistered_file_rejected;
         ] );
     ]

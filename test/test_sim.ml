@@ -247,6 +247,29 @@ let engine_blocked_fibers_reports_deadlock () =
     [ (0, "stuck-a"); (2, "stuck-b") ]
     (Sim.Engine.blocked_fibers eng)
 
+let engine_blocked_report_breaks_down_costs () =
+  (* The deadlock report names each parked fiber and itemizes where its
+     cycles went, so a fiber stuck after fault-injection retries
+     ("io_retry" cycles) reads differently from one waiting on a lock. *)
+  let eng = Sim.Engine.create () in
+  ignore
+    (Sim.Engine.spawn eng ~name:"retrier" ~core:1 (fun () ->
+         Sim.Engine.delay ~label:"io_retry" 40_000L;
+         Sim.Engine.suspend (fun _resume -> ())));
+  ignore (Sim.Engine.spawn eng ~name:"fine" (fun () -> Sim.Engine.delay 5L));
+  Sim.Engine.run eng;
+  let report = Sim.Engine.blocked_report eng in
+  let contains sub =
+    let n = String.length sub and m = String.length report in
+    let rec go i = i + n <= m && (String.sub report i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counts the stuck fibers" true
+    (contains "1 fiber(s) blocked");
+  Alcotest.(check bool) "names the fiber" true (contains "\"retrier\"");
+  Alcotest.(check bool) "itemizes its labels" true (contains "io_retry");
+  Alcotest.(check bool) "finished fiber absent" true (not (contains "fine"))
+
 let engine_fastpath_matches_queued () =
   (* The delay fast path must be invisible: same seed with the fast path
      on and off gives identical event counts, final times, per-fiber
@@ -471,6 +494,8 @@ let () =
             engine_blocked_fibers_reports_deadlock;
           Alcotest.test_case "blocked fibers empty" `Quick
             engine_blocked_fibers_empty_when_clean;
+          Alcotest.test_case "blocked report breakdown" `Quick
+            engine_blocked_report_breaks_down_costs;
         ] );
       ( "sync",
         [
