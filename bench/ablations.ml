@@ -160,6 +160,8 @@ let uring () =
    IPI counters itself). *)
 let jobs =
   [
+    Experiments.Fanout.job ~name:"ablation-policy"
+      Experiments.Policy_ablation.run;
     Experiments.Fanout.job ~name:"ablation-tlb-batching" tlb_and_batching;
     Experiments.Fanout.job ~name:"ablation-memcpy" memcpy;
     Experiments.Fanout.job ~name:"ablation-readahead" readahead;

@@ -49,6 +49,31 @@ let fault_of_argv () =
   | Some at -> Some { base with Fault.Plan.crash_at = Some at }
   | None -> if !plan = None then None else Some base
 
+(* --policy NAME sets the ambient cache-replacement policy every Aquila
+   stack picks up (ablations that pin their own policy still win). *)
+let policy_of_argv () =
+  let argv = Sys.argv in
+  let policy = ref None in
+  let value_of i flag =
+    let fl = String.length flag in
+    let s = argv.(i) in
+    if s = flag && i + 1 < Array.length argv then Some argv.(i + 1)
+    else if String.length s > fl + 1 && String.sub s 0 (fl + 1) = flag ^ "="
+    then Some (String.sub s (fl + 1) (String.length s - fl - 1))
+    else None
+  in
+  for i = 1 to Array.length argv - 1 do
+    match value_of i "--policy" with
+    | Some s -> (
+        match Mcache.Policy.kind_of_string s with
+        | Ok k -> policy := Some k
+        | Error msg ->
+            Printf.eprintf "bench: --policy: %s\n%!" msg;
+            exit 2)
+    | None -> ()
+  done;
+  !policy
+
 let jobs_of_argv () =
   let jobs = ref 1 in
   (match Sys.getenv_opt "BENCH_JOBS" with
@@ -72,9 +97,17 @@ let jobs_of_argv () =
 let () =
   let jobs = jobs_of_argv () in
   let fault = fault_of_argv () in
+  (match policy_of_argv () with
+  | Some k -> Experiments.Scenario.set_policy k
+  | None -> ());
   Printf.printf "=== Aquila (EuroSys '21) reproduction benchmark harness ===\n";
   Printf.printf "%s\n" Experiments.Scenario.scale_note;
   if jobs > 1 then Printf.printf "(fan-out: up to %d parallel domains)\n" jobs;
+  (match Experiments.Scenario.policy () with
+  | Mcache.Policy.Clock -> ()
+  | k ->
+      Printf.printf "(cache replacement policy: %s)\n"
+        (Mcache.Policy.kind_to_string k));
   (match fault with
   | Some spec ->
       Printf.printf "(fault injection: %s)\n" (Fault.Plan.to_string spec)

@@ -1,0 +1,47 @@
+(* Replacement-policy ablation bench: sweeps every cache policy over the
+   fig5-style zipfian workload and the scan-heavy anti-LRU workload, prints
+   the table and writes BENCH_mcache.json for the CI perf-trajectory gate
+   (bench/perf_gate.ml compares it against the previous run's artifact).
+
+   Like engine_perf, the run doubles as a determinism smoke: a repeated
+   sweep must agree on every virtual counter (ops, hits, misses,
+   evictions, write-back pages, virtual time per op, engine events) —
+   only wall-clock may differ.  Any mismatch exits non-zero. *)
+
+let ops_per_thread =
+  match Sys.getenv_opt "MCACHE_BENCH_OPS" with
+  | Some s -> (
+      match int_of_string_opt s with Some n -> max 100 n | None -> 4000)
+  | None -> 4000
+
+let det_key (r : Experiments.Policy_ablation.row) =
+  ( Experiments.Policy_ablation.workload_name r.workload,
+    Mcache.Policy.kind_to_string r.policy,
+    r.ops,
+    r.hits,
+    r.misses,
+    r.evictions,
+    r.wb_pages,
+    r.vtime_per_op,
+    r.events )
+
+let () =
+  Printf.printf
+    "=== mcache_bench: replacement-policy ablation (ops/thread=%d) ===\n%!"
+    ops_per_thread;
+  let rows = Experiments.Policy_ablation.sweep ~ops_per_thread () in
+  Experiments.Policy_ablation.print_rows rows;
+  let rows2 = Experiments.Policy_ablation.sweep ~ops_per_thread () in
+  let ok =
+    List.length rows = List.length rows2
+    && List.for_all2 (fun a b -> det_key a = det_key b) rows rows2
+  in
+  let oc = open_out "BENCH_mcache.json" in
+  output_string oc (Experiments.Policy_ablation.json_string rows);
+  close_out oc;
+  Printf.printf "wrote BENCH_mcache.json\n";
+  if not ok then begin
+    Printf.printf "DETERMINISM FAIL: repeated sweep diverged on virtual counters\n";
+    exit 1
+  end;
+  Printf.printf "determinism: ok (repeated sweep identical on virtual counters)\n"

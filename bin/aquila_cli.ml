@@ -41,6 +41,26 @@ let jobs_arg =
               Each experiment owns its engine, RNG and seeds, so results \
               and output bytes are identical to a sequential run.")
 
+let policy_conv =
+  let parse s =
+    match Mcache.Policy.kind_of_string s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Mcache.Policy.kind_to_string k))
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Mcache.Policy.Clock
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Cache replacement policy for every Aquila stack: $(docv) is \
+              'clock' (default, the paper's fault-driven LRU \
+              approximation), 'fifo', 'lru', '2q' or 'random[:SEED]' \
+              (seeded sampled-LRU).  Policies charge their own bookkeeping \
+              cycles, so results differ in virtual time as well as hit \
+              rate.")
+
 (* Same flag names and spec syntax as bench/main.exe. *)
 let fault_plan_arg =
   Arg.(
@@ -83,12 +103,13 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see 'list'), or 'all'.")
   in
-  let run id trace_out jobs plan crash_at =
+  let run id trace_out jobs plan crash_at policy =
     match (resolve id, fault_spec_of plan crash_at) with
     | Error msg, _ -> `Error (false, msg)
     | _, Error msg -> `Error (true, "--fault-plan: " ^ msg)
     | Ok _, _ when jobs < 1 -> `Error (true, "--jobs must be >= 1")
     | Ok entries, Ok fault ->
+        Experiments.Scenario.set_policy policy;
         (* The ambient tracer is domain-local: worker domains would record
            nothing, so tracing forces a sequential run. *)
         let jobs =
@@ -106,7 +127,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ id $ trace_out_arg $ jobs_arg $ fault_plan_arg
-       $ crash_at_arg))
+       $ crash_at_arg $ policy_arg))
 
 let trace_cmd =
   let doc = "Run an experiment under the tracer and export the trace." in
@@ -158,12 +179,13 @@ let trace_cmd =
                 dropped on overflow (the drop count is recorded in the \
                 trace).")
   in
-  let run id out csv summary buffer =
+  let run id out csv summary buffer policy =
     match resolve id with
     | Error msg -> `Error (false, msg)
     | Ok _ when buffer <= 0 ->
         `Error (true, "--buffer must be a positive number of events")
     | Ok entries ->
+        Experiments.Scenario.set_policy policy;
         let summary = if summary > 0 then Some summary else None in
         Experiments.Scenario.with_trace ~buffer_per_core:buffer ~out ?csv
           ?summary (fun () -> run_entries entries);
@@ -171,7 +193,7 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc ~man)
-    Term.(ret (const run $ id $ out $ csv $ summary $ buffer))
+    Term.(ret (const run $ id $ out $ csv $ summary $ buffer $ policy_arg))
 
 let faultcheck_cmd =
   let doc = "Crash-consistency sweep: inject power cuts, verify durability." in
@@ -218,7 +240,7 @@ let faultcheck_cmd =
                 msync disabled): the sweep is expected to report \
                 violations, proving the checker has teeth.")
   in
-  let run seeds points mode broken plan crash_at =
+  let run seeds points mode broken plan crash_at policy =
     if seeds < 1 || points < 1 then
       `Error (true, "--seeds and --points must be >= 1")
     else
@@ -230,13 +252,17 @@ let faultcheck_cmd =
           let reports =
             (match mode with
             | `Micro | `All ->
-                [ Fault_check.Check.run_micro ~spec ~broken ~seeds ~points () ]
+                [
+                  Fault_check.Check.run_micro ~spec ~broken ~policy ~seeds
+                    ~points ();
+                ]
             | `Kreon -> [])
             @
             match mode with
             | `Kreon | `All ->
                 if broken then []
-                else [ Fault_check.Check.run_kreon ~spec ~seeds ~points () ]
+                else
+                  [ Fault_check.Check.run_kreon ~spec ~policy ~seeds ~points () ]
             | `Micro -> []
           in
           List.iter (Fault_check.Check.pp_report Format.std_formatter) reports;
@@ -258,7 +284,7 @@ let faultcheck_cmd =
     Term.(
       ret
         (const run $ seeds $ points $ mode $ broken $ fault_plan_arg
-       $ crash_at_arg))
+       $ crash_at_arg $ policy_arg))
 
 let () =
   let doc = "Reproduction harness for 'Memory-Mapped I/O on Steroids' (EuroSys '21)" in

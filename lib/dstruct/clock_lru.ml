@@ -68,3 +68,9 @@ let active_count t = t.nactive
 let is_referenced t f =
   check t f;
   get t.referenced f
+
+let retire t f =
+  check t f;
+  set_active t f false;
+  set t.referenced f false;
+  set t.pinned f false

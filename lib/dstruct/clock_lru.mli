@@ -33,3 +33,9 @@ val active_count : t -> int
 
 val is_referenced : t -> int -> bool
 (** [is_referenced t f] reads [f]'s reference bit (reclaim re-check). *)
+
+val retire : t -> int -> unit
+(** [retire t f] removes every trace of [f] from the structure: inactive,
+    reference bit cleared, unpinned.  Used when a frame leaves the cache
+    entirely (shrink) so a later re-add ([grow]) starts from a clean
+    slate rather than inheriting a stale reference bit. *)

@@ -12,7 +12,7 @@ type result = {
   evictions : int;
 }
 
-type pattern = Uniform | Permutation
+type pattern = Uniform | Permutation | Zipf
 
 type region_ops = { touch : page:int -> write:bool -> unit }
 
@@ -107,6 +107,10 @@ let run ~eng ~sys ~file_pages ~shared ~threads ~ops_per_thread
             match pattern with
             | Uniform ->
                 let f () = Sim.Rng.int rng file_pages in
+                (f, ops_per_thread)
+            | Zipf ->
+                let z = Ycsb.Zipfian.zipfian rng ~items:file_pages in
+                let f () = Ycsb.Zipfian.next z in
                 (f, ops_per_thread)
             | Permutation ->
                 let lo, hi =

@@ -23,6 +23,10 @@ type pattern =
       (** every page exactly once in random order — each access faults, as
           the paper's microbenchmark ensures; with a shared file the page
           range is partitioned across threads *)
+  | Zipf
+      (** YCSB's scrambled-Zipfian (θ = 0.99) over the file's pages: a
+          skewed hot set, so replacement quality — not raw miss cost —
+          decides the hit rate (the policy-ablation workload) *)
 
 val run :
   eng:Sim.Engine.t ->

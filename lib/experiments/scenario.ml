@@ -38,6 +38,13 @@ let aquila_access ~domain dev =
   | `N n, Hw.Domain_x.Ring3 ->
       Sdevice.Access.host_nvme costs ~entry:Sdevice.Access.In_kernel n
 
+(* Ambient replacement policy: set once by the CLI / bench drivers before
+   any experiment (or fan-out worker) builds a stack, then only read.
+   [tweak] is applied after, so per-experiment ablations still win. *)
+let ambient_policy = ref Mcache.Policy.Clock
+let set_policy k = ambient_policy := k
+let policy () = !ambient_policy
+
 let make_aquila ?(domain = Hw.Domain_x.Nonroot_ring0) ?(tweak = Fun.id) ~frames
     ~dev () =
   let machine = Hw.Machine.create () in
@@ -47,7 +54,12 @@ let make_aquila ?(domain = Hw.Domain_x.Nonroot_ring0) ?(tweak = Fun.id) ~frames
   let cfg =
     {
       (Aquila.Context.default_config ~cache_frames:frames) with
-      Aquila.Context.cache = tweak (Mcache.Dram_cache.default_config ~frames);
+      Aquila.Context.cache =
+        tweak
+          {
+            (Mcache.Dram_cache.default_config ~frames) with
+            Mcache.Dram_cache.policy = policy ();
+          };
       domain;
     }
   in
@@ -58,8 +70,14 @@ let make_aquila_access ?(domain = Hw.Domain_x.Nonroot_ring0) ?(frames = 2048)
     ~access () =
   let machine = Hw.Machine.create () in
   let store = Blobstore.Store.create ~capacity_pages:device_pages () in
+  let base = Aquila.Context.default_config ~cache_frames:frames in
   let cfg =
-    { (Aquila.Context.default_config ~cache_frames:frames) with domain }
+    {
+      base with
+      Aquila.Context.cache =
+        { base.Aquila.Context.cache with Mcache.Dram_cache.policy = policy () };
+      domain;
+    }
   in
   let ctx = Aquila.Context.create ~costs ~machine cfg in
   {

@@ -15,6 +15,14 @@ type aquila_stack = {
   a_machine : Hw.Machine.t;
 }
 
+val set_policy : Mcache.Policy.kind -> unit
+(** Sets the ambient cache-replacement policy picked up by every
+    subsequently built Aquila stack (the CLI's [--policy] knob).  Call
+    before running experiments; [tweak] still overrides it. *)
+
+val policy : unit -> Mcache.Policy.kind
+(** The current ambient policy (default {!Mcache.Policy.Clock}). *)
+
 val make_aquila :
   ?domain:Hw.Domain_x.t ->
   ?tweak:(Mcache.Dram_cache.config -> Mcache.Dram_cache.config) ->

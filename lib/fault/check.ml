@@ -87,9 +87,16 @@ let micro_store_digest store =
   done;
   Digest.string (Buffer.contents all)
 
+let cache_policy policy cfg =
+  {
+    cfg with
+    Aquila.Context.cache =
+      { cfg.Aquila.Context.cache with Mcache.Dram_cache.policy };
+  }
+
 (* One run: workload under the plan (possibly crashing), oracle check on
    the raw device, then a restart read-back through a fresh stack. *)
-let micro_once ~seed ~(spec : Fault.Plan.spec) ~broken () =
+let micro_once ~seed ~(spec : Fault.Plan.spec) ~broken ~policy () =
   let nvme = Sdevice.Nvme.create ~name:"check-nvme" () in
   let store = Sdevice.Block_dev.store nvme in
   let latest = Array.make micro_pages 0 in
@@ -105,7 +112,10 @@ let micro_once ~seed ~(spec : Fault.Plan.spec) ~broken () =
   (try
      Fault.with_plan plan (fun () ->
          let eng = Sim.Engine.create () in
-         let cfg = Aquila.Context.default_config ~cache_frames:micro_frames in
+         let cfg =
+           cache_policy policy
+             (Aquila.Context.default_config ~cache_frames:micro_frames)
+         in
          let cfg =
            if broken then
              {
@@ -178,7 +188,11 @@ let micro_once ~seed ~(spec : Fault.Plan.spec) ~broken () =
   (* Restart: a fresh stack over the surviving device (no plan installed)
      must serve exactly the durable bytes through the mmap path. *)
   let eng = Sim.Engine.create () in
-  let ctx = Aquila.Context.create (Aquila.Context.default_config ~cache_frames:micro_frames) in
+  let ctx =
+    Aquila.Context.create
+      (cache_policy policy
+         (Aquila.Context.default_config ~cache_frames:micro_frames))
+  in
   let access = Sdevice.Access.spdk_nvme (Aquila.Context.costs ctx) nvme in
   ignore
     (Sim.Engine.spawn eng ~core:0 (fun () ->
@@ -220,7 +234,7 @@ let kreon_config =
 let kv_key rng = Printf.sprintf "key%03d" (Sim.Rng.int rng kreon_keyspace)
 let kv_value ~seed ~op key = Printf.sprintf "v%04d.%d.%s" op seed key
 
-let kreon_once ~seed ~(spec : Fault.Plan.spec) () =
+let kreon_once ~seed ~(spec : Fault.Plan.spec) ~policy () =
   let pmem =
     Sdevice.Pmem.create ~name:"check-pmem"
       ~capacity_bytes:(Int64.of_int (kreon_capacity_pages * psz))
@@ -239,7 +253,10 @@ let kreon_once ~seed ~(spec : Fault.Plan.spec) () =
     Printf.ksprintf (fun s -> violations := s :: !violations) fmt
   in
   let mk_stack () =
-    let ctx = Aquila.Context.create (Aquila.Context.default_config ~cache_frames:256) in
+    let ctx =
+      Aquila.Context.create
+        (cache_policy policy (Aquila.Context.default_config ~cache_frames:256))
+    in
     let store = Blobstore.Store.create ~capacity_pages:kreon_capacity_pages () in
     let access = Sdevice.Access.dax_pmem (Aquila.Context.costs ctx) pmem in
     (ctx, store, access)
@@ -386,12 +403,14 @@ let sweep ~mode ~(spec : Fault.Plan.spec) ~seeds ~points once =
     seeds;
   { combos = !combos; crashes = !crashes; violations = List.rev !violations }
 
-let run_micro ?(spec = Fault.Plan.default) ?(broken = false) ~seeds ~points () =
+let run_micro ?(spec = Fault.Plan.default) ?(broken = false)
+    ?(policy = Mcache.Policy.Clock) ~seeds ~points () =
   sweep
     ~mode:(if broken then "micro/broken" else "micro")
     ~spec ~seeds ~points
-    (fun ~seed ~spec () -> micro_once ~seed ~spec ~broken ())
+    (fun ~seed ~spec () -> micro_once ~seed ~spec ~broken ~policy ())
 
-let run_kreon ?(spec = Fault.Plan.default) ~seeds ~points () =
+let run_kreon ?(spec = Fault.Plan.default) ?(policy = Mcache.Policy.Clock)
+    ~seeds ~points () =
   sweep ~mode:"kreon" ~spec ~seeds ~points (fun ~seed ~spec () ->
-      kreon_once ~seed ~spec ())
+      kreon_once ~seed ~spec ~policy ())

@@ -27,6 +27,7 @@ val pp_report : Format.formatter -> report -> unit
 val run_micro :
   ?spec:Fault.Plan.spec ->
   ?broken:bool ->
+  ?policy:Mcache.Policy.kind ->
   seeds:int list ->
   points:int ->
   unit ->
@@ -40,7 +41,12 @@ val run_micro :
     must report (see the test suite). *)
 
 val run_kreon :
-  ?spec:Fault.Plan.spec -> seeds:int list -> points:int -> unit -> report
+  ?spec:Fault.Plan.spec ->
+  ?policy:Mcache.Policy.kind ->
+  seeds:int list ->
+  points:int ->
+  unit ->
+  report
 (** The same sweep over a {!Kvstore.Kreon_sim} instance on DAX pmem:
     random puts with periodic msync commits, crash, restart + recover,
     then every acked key must return its acked (or a later) value and no

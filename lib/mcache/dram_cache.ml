@@ -10,6 +10,7 @@ type config = {
   ipi_mode : Hw.Ipi.send_mode;
   readahead : int;
   wb_protect : bool;
+  policy : Policy.kind;
 }
 
 let default_config ~frames =
@@ -26,6 +27,7 @@ let default_config ~frames =
     ipi_mode = Hw.Ipi.Vmexit_send;
     readahead = 0;
     wb_protect = true;
+    policy = Policy.Clock;
   }
 
 type frame = {
@@ -48,7 +50,8 @@ type t = {
   arr : frame array;
   index : frame Dstruct.Lockfree_hash.t;
   fl : Freelist.t;
-  lru : Dstruct.Clock_lru.t;
+  pol : Policy.t;
+  evict_label : string;
   dirty : Dirty_set.t;
   files : (int, backend) Hashtbl.t;
   inflight : (int, unit Sim.Sync.Ivar.t) Hashtbl.t;
@@ -99,7 +102,13 @@ let create ~costs ~machine ~page_table cfg =
       fl =
         Freelist.create costs topo ~core_queue_limit:cfg.core_queue_limit
           ~move_batch:cfg.move_batch ();
-      lru = Dstruct.Clock_lru.create ~nframes:cfg.max_frames;
+      pol = Policy.make costs ~nframes:cfg.max_frames cfg.policy;
+      (* the default policy keeps the historical span name so existing
+         trace consumers (and byte-identity) are untouched *)
+      evict_label =
+        (match cfg.policy with
+        | Policy.Clock -> "evict_batch"
+        | k -> "evict_batch:" ^ Policy.kind_to_string k);
       dirty = Dirty_set.create costs ~cores:topo.Hw.Topology.cores;
       files = Hashtbl.create 16;
       inflight = Hashtbl.create 64;
@@ -264,12 +273,28 @@ let requeue_failed_dirty t buf failed =
    before the first suspension point, so concurrent faults observe a
    consistent cache. *)
 let evict_batch_now t ~core buf =
-  let victims = Dstruct.Clock_lru.evict_candidates t.lru t.cfg.evict_batch in
-  match victims with
+  let victims, pcost = Policy.evict_candidates t.pol t.cfg.evict_batch in
+  if Int64.compare pcost 0L > 0 then Sim.Costbuf.add buf "evict" pcost;
+  let frames = List.map (fun fno -> t.arr.(fno)) victims in
+  (* Read-only degradation means write-back is known to be failing:
+     evicting a dirty frame would only bounce it through a doomed I/O and
+     back.  Skip dirty victims — they stay resident (and recently used,
+     so the policy does not immediately re-offer them) and only clean
+     frames are recycled. *)
+  let frames =
+    if not t.read_only then frames
+    else begin
+      let dirty, clean = List.partition (fun (fr : frame) -> fr.dirty) frames in
+      List.iter
+        (fun (fr : frame) -> Policy.note_insert t.pol fr.fno ~touched:true)
+        dirty;
+      clean
+    end
+  in
+  match frames with
   | [] -> false
   | _ :: _ ->
       let ev0 = Sim.Probe.span_start () in
-      let frames = List.map (fun fno -> t.arr.(fno)) victims in
       let c = t.costs in
       let dirty_frames = List.filter (fun (fr : frame) -> fr.dirty) frames in
       (* 1. Drop index entries; guard dirty victims with in-flight markers
@@ -320,8 +345,7 @@ let evict_batch_now t ~core buf =
         (fun ((fr : frame), _e) ->
           ignore (Dstruct.Lockfree_hash.insert t.index fr.key fr);
           Sim.Costbuf.add buf "evict" c.hash_update;
-          Dstruct.Clock_lru.set_active t.lru fr.fno true;
-          Dstruct.Clock_lru.touch t.lru fr.fno)
+          Policy.note_insert t.pol fr.fno ~touched:true)
         failed;
       List.iter
         (fun ((fr : frame), iv) ->
@@ -343,7 +367,7 @@ let evict_batch_now t ~core buf =
       if Trace.on () then begin
         Sim.Probe.span_since ~cat:"mcache"
           ~value:(Int64.of_int (List.length frames))
-          ~t0:ev0 "evict_batch";
+          ~t0:ev0 t.evict_label;
         Sim.Probe.counter ~cat:"mcache" "dirty_pages"
           (Int64.of_int (Dirty_set.total t.dirty))
       end;
@@ -441,8 +465,7 @@ let read_in t ~core ~key ~readahead (frame : frame) buf =
   frame.dirty <- false;
   ignore (Dstruct.Lockfree_hash.insert t.index key frame);
   Sim.Costbuf.add buf "index" c.hash_update;
-  Dstruct.Clock_lru.set_active t.lru frame.fno true;
-  Dstruct.Clock_lru.touch t.lru frame.fno;
+  Policy.note_insert t.pol frame.fno ~touched:true;
   List.iteri
     (fun i (k, (fr : frame), iv) ->
       Bytes.blit scratch ((i + 1) * psz) fr.data 0 psz;
@@ -451,7 +474,7 @@ let read_in t ~core ~key ~readahead (frame : frame) buf =
       fr.vpn <- -1;
       ignore (Dstruct.Lockfree_hash.insert t.index k fr);
       Sim.Costbuf.add buf "index" c.hash_update;
-      Dstruct.Clock_lru.set_active t.lru fr.fno true;
+      Policy.note_insert t.pol fr.fno ~touched:false;
       Hashtbl.remove t.inflight k;
       Sim.Sync.Ivar.fill iv ())
     guards
@@ -523,8 +546,8 @@ let fault t ?readahead ~core ~key ~vpn ~write () =
         ignore (Sim.Sync.Waitq.signal t.wb_waitq)
     | _ -> ()
   end;
-  Dstruct.Clock_lru.touch t.lru frame.fno;
-  Sim.Costbuf.add buf "map" c.lru_update;
+  let pcost = Policy.touch t.pol frame.fno in
+  if Int64.compare pcost 0L > 0 then Sim.Costbuf.add buf "map" pcost;
   Sim.Costbuf.charge buf
 
 let pfn_data t pfn = t.arr.(pfn).data
@@ -649,7 +672,7 @@ let drop_file t ~core ~file_id =
     (fun (fr : frame) ->
       ignore (Dstruct.Lockfree_hash.remove t.index fr.key);
       Sim.Costbuf.add buf "evict" c.hash_update;
-      Dstruct.Clock_lru.set_active t.lru fr.fno false)
+      Policy.note_remove t.pol fr.fno)
     frames;
   List.iter
     (fun (fr : frame) ->
@@ -680,7 +703,7 @@ let drop_file t ~core ~file_id =
     (fun ((fr : frame), _e) ->
       ignore (Dstruct.Lockfree_hash.insert t.index fr.key fr);
       Sim.Costbuf.add buf "evict" c.hash_update;
-      Dstruct.Clock_lru.set_active t.lru fr.fno true)
+      Policy.note_insert t.pol fr.fno ~touched:false)
     failed;
   let failed_frames = List.map fst failed in
   List.iter
@@ -703,7 +726,7 @@ let crash t =
         ignore (Dstruct.Lockfree_hash.remove t.index fr.key);
         if fr.dirty then
           ignore (Dirty_set.remove t.dirty ~core:fr.dirty_core ~key:fr.key);
-        Dstruct.Clock_lru.set_active t.lru fr.fno false;
+        Policy.note_remove t.pol fr.fno;
         fr.key <- -1;
         fr.vpn <- -1;
         fr.dirty <- false;
@@ -744,6 +767,10 @@ let shrink t ~frames =
     incr attempts;
     match Freelist.steal_any t.fl with
     | Some fno ->
+        (* a frame leaving the cache must leave the policy too: a stale
+           reference bit or queue slot would let a retired frame surface
+           as a victim after a later [grow] *)
+        Policy.retire t.pol fno;
         t.arr.(fno).retired <- true;
         t.retired_frames <- fno :: t.retired_frames;
         t.retired_count <- t.retired_count + 1;
@@ -767,3 +794,4 @@ let dirty_pages t = Dirty_set.total t.dirty
 let wb_errors t = t.s_wb_errors
 let sigbus_count t = t.s_sigbus
 let degraded t = t.read_only
+let policy_name t = Policy.name t.pol

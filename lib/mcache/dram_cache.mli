@@ -3,8 +3,9 @@
     The cache holds 4 KiB frames of file data, indexed by a lock-free hash
     table on {!Pagekey.t}.  Misses allocate frames from the two-level
     {!Freelist}; when it runs dry the faulting thread synchronously evicts
-    a batch of frames chosen by CLOCK (an LRU approximation updated on
-    faults), writing dirty victims back in ascending-offset merged I/Os
+    a batch of frames chosen by the configured replacement {!Policy}
+    (CLOCK by default — the paper's LRU approximation updated on faults),
+    writing dirty victims back in ascending-offset merged I/Os
     and invalidating the victims' mappings with one batched TLB shootdown.
     Dirty pages live in per-core red-black trees ({!Dirty_set}), never in
     the hash table's critical path.
@@ -33,12 +34,16 @@ type config = {
           checker: stores after an msync no longer re-dirty their pages,
           so later msyncs silently miss them — [aquila_cli faultcheck]
           must catch the resulting durability violation. *)
+  policy : Policy.kind;
+      (** replacement policy (default {!Policy.Clock}); see {!Policy} for
+          the five implementations and their cycle costs *)
 }
 
 val default_config : frames:int -> config
 (** Paper-flavoured defaults scaled to the simulation (see DESIGN.md §2):
     eviction batch = frames/64 (min 16), core queues 512, move batch 256,
-    merge 64, vmexit-send IPIs, no readahead, write-protect on. *)
+    merge 64, vmexit-send IPIs, no readahead, write-protect on, CLOCK
+    replacement. *)
 
 type t
 
@@ -160,5 +165,9 @@ val sigbus_count : t -> int
 val degraded : t -> bool
 (** [true] once an error storm ({!wb_errors} on consecutive rounds)
     switched the cache to read-only: write faults raise
-    {!Fault.Read_only} while reads keep being served.  {!crash} (a
-    restart) resets it. *)
+    {!Fault.Read_only} while reads keep being served, and evictions skip
+    dirty victims (their write-back is known to be failing; dropping them
+    would lose data).  {!crash} (a restart) resets it. *)
+
+val policy_name : t -> string
+(** The configured replacement policy's name ("clock", "fifo", ...). *)

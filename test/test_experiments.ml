@@ -97,6 +97,70 @@ let fig8c_access_method_ordering () =
   in
   Alcotest.(check bool) "DAX beats host path" true (dax < host)
 
+(* ---- Policy ablation determinism across --jobs ---- *)
+
+(* Fanout's parallel path emits the per-job captures with the real
+   [print_string], so byte-level comparison needs OS-level stdout
+   redirection rather than Sim.Sink.capture. *)
+let capture_stdout f =
+  let tmp = Filename.temp_file "aq-fanout" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  (try f ()
+   with e ->
+     restore ();
+     Sys.remove tmp;
+     raise e);
+  restore ();
+  let ic = open_in_bin tmp in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let policy_ablation_jobs_parity () =
+  (* Every policy must produce byte-identical run output whether the two
+     ablation workloads run sequentially or on two domains: virtual
+     counters (and thus the printed tables) depend only on seeds. *)
+  List.iter
+    (fun policy ->
+      let cell workload () =
+        Experiments.Policy_ablation.print_rows
+          [
+            Experiments.Policy_ablation.run_one ~frames:64 ~threads:2
+              ~ops_per_thread:200 ~workload ~policy ();
+          ]
+      in
+      let out jobs =
+        capture_stdout (fun () ->
+            Experiments.Fanout.run ~jobs
+              [
+                Experiments.Fanout.job ~name:"pa-zipf"
+                  (cell Experiments.Policy_ablation.Zipf_mix);
+                Experiments.Fanout.job ~name:"pa-scan"
+                  (cell Experiments.Policy_ablation.Scan_mix);
+              ])
+      in
+      let seq = out 1 and par = out 2 in
+      Alcotest.(check bool)
+        (Mcache.Policy.kind_to_string policy ^ ": output non-empty")
+        true
+        (String.length seq > 0);
+      Alcotest.(check string)
+        (Mcache.Policy.kind_to_string policy
+        ^ ": --jobs 2 output byte-identical to sequential")
+        seq par)
+    Mcache.Policy.all_kinds
+
 let scenario_stacks_are_independent () =
   let s1 = Experiments.Scenario.make_aquila ~frames:64 ~dev:Experiments.Scenario.Pmem () in
   let s2 = Experiments.Scenario.make_aquila ~frames:64 ~dev:Experiments.Scenario.Pmem () in
@@ -121,4 +185,9 @@ let () =
         [ Alcotest.test_case "fig8c ordering" `Quick fig8c_access_method_ordering ] );
       ( "scenario",
         [ Alcotest.test_case "independence" `Quick scenario_stacks_are_independent ] );
+      ( "policy ablation",
+        [
+          Alcotest.test_case "--jobs parity per policy" `Quick
+            policy_ablation_jobs_parity;
+        ] );
     ]

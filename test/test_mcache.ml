@@ -414,6 +414,332 @@ let crash_keeps_exactly_synced =
           done);
       !ok)
 
+(* ---- Replacement policies ---- *)
+
+(* Each list-based policy is checked op-by-op against a naive reference
+   model (plain OCaml lists, front = eviction end): same victims in the
+   same order, same membership, same active count, on arbitrary
+   interleavings of inserts, touches, removes and evictions. *)
+
+type pol_op =
+  | P_insert of int * bool
+  | P_touch of int
+  | P_remove of int
+  | P_evict of int
+
+let pol_nframes = 16
+
+let pol_ops_arb =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          ( 4,
+            map2
+              (fun f touched -> P_insert (f, touched))
+              (int_bound (pol_nframes - 1))
+              bool );
+          (4, map (fun f -> P_touch f) (int_bound (pol_nframes - 1)));
+          (1, map (fun f -> P_remove f) (int_bound (pol_nframes - 1)));
+          (2, map (fun n -> P_evict (n + 1)) (int_bound 5));
+        ])
+  in
+  let print_op = function
+    | P_insert (f, t) -> Printf.sprintf "insert %d%s" f (if t then "!" else "")
+    | P_touch f -> Printf.sprintf "touch %d" f
+    | P_remove f -> Printf.sprintf "remove %d" f
+    | P_evict n -> Printf.sprintf "evict %d" n
+  in
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    Gen.(list_size (int_range 1 150) op_gen)
+
+(* Drive [Policy.t] and the model together; [apply] returns the new model
+   state plus, for evictions, the victims the model expects. *)
+let policy_matches_model ~kind ~init ~apply ~members ops =
+  let p = Mcache.Policy.make c ~nframes:pol_nframes kind in
+  let ok = ref true in
+  let model = ref init in
+  List.iter
+    (fun op ->
+      (match op with
+      | P_insert (f, touched) -> Mcache.Policy.note_insert p f ~touched
+      | P_touch f -> ignore (Mcache.Policy.touch p f)
+      | P_remove f -> Mcache.Policy.note_remove p f
+      | P_evict n ->
+          let victims, _ = Mcache.Policy.evict_candidates p n in
+          let m', expected = apply !model op in
+          model := m';
+          if victims <> expected then ok := false);
+      (match op with
+      | P_evict _ -> ()
+      | _ ->
+          let m', _ = apply !model op in
+          model := m');
+      let ms = members !model in
+      if Mcache.Policy.active_count p <> List.length ms then ok := false;
+      for f = 0 to pol_nframes - 1 do
+        if Mcache.Policy.is_active p f <> List.mem f ms then ok := false
+      done)
+    ops;
+  !ok
+
+let rec take_front n = function
+  | [] -> ([], [])
+  | l when n = 0 -> ([], l)
+  | x :: rest ->
+      let v, rem = take_front (n - 1) rest in
+      (x :: v, rem)
+
+let policy_fifo_matches_model =
+  let apply q = function
+    | P_insert (f, _) -> if List.mem f q then (q, []) else (q @ [ f ], [])
+    | P_touch _ -> (q, [])
+    | P_remove f -> (List.filter (( <> ) f) q, [])
+    | P_evict n ->
+        let v, rem = take_front n q in
+        (rem, v)
+  in
+  QCheck.Test.make ~name:"FIFO policy matches the reference model" ~count:200
+    pol_ops_arb
+    (policy_matches_model ~kind:Mcache.Policy.Fifo ~init:[] ~apply
+       ~members:(fun q -> q))
+
+let policy_lru_matches_model =
+  let apply q = function
+    | P_insert (f, touched) ->
+        if List.mem f q then (q, [])
+        else if touched then (q @ [ f ], [])
+        else (f :: q, []) (* untouched readahead: first to go *)
+    | P_touch f ->
+        if List.mem f q then (List.filter (( <> ) f) q @ [ f ], []) else (q, [])
+    | P_remove f -> (List.filter (( <> ) f) q, [])
+    | P_evict n ->
+        let v, rem = take_front n q in
+        (rem, v)
+  in
+  QCheck.Test.make ~name:"LRU policy matches the reference model" ~count:200
+    pol_ops_arb
+    (policy_matches_model ~kind:Mcache.Policy.Lru ~init:[] ~apply
+       ~members:(fun q -> q))
+
+let policy_2q_matches_model =
+  (* model = (a1 probationary FIFO, am protected LRU), fronts evict first *)
+  let rec evict n (a1, am) acc =
+    if n = 0 then (List.rev acc, (a1, am))
+    else
+      let from_a1 =
+        a1 <> []
+        && (am = [] || 4 * List.length a1 >= List.length a1 + List.length am)
+      in
+      match (from_a1, a1, am) with
+      | true, f :: rest, _ -> evict (n - 1) (rest, am) (f :: acc)
+      | _, _, f :: rest -> evict (n - 1) (a1, rest) (f :: acc)
+      | _, f :: rest, [] -> evict (n - 1) (rest, []) (f :: acc)
+      | _, [], [] -> (List.rev acc, (a1, am))
+  in
+  let apply (a1, am) = function
+    | P_insert (f, _) ->
+        if List.mem f a1 || List.mem f am then ((a1, am), [])
+        else ((a1 @ [ f ], am), [])
+    | P_touch f ->
+        if List.mem f am then ((a1, List.filter (( <> ) f) am @ [ f ]), [])
+        else if List.mem f a1 then
+          ((List.filter (( <> ) f) a1, am @ [ f ]), [])
+        else ((a1, am), [])
+    | P_remove f ->
+        ((List.filter (( <> ) f) a1, List.filter (( <> ) f) am), [])
+    | P_evict n ->
+        let v, m = evict n (a1, am) [] in
+        (m, v)
+  in
+  QCheck.Test.make ~name:"2Q policy matches the reference model" ~count:200
+    pol_ops_arb
+    (policy_matches_model ~kind:Mcache.Policy.Two_q ~init:([], []) ~apply
+       ~members:(fun (a1, am) -> a1 @ am))
+
+let policy_clock_delegates =
+  (* CLOCK must be the pre-policy-interface structure verbatim: drive a
+     raw Clock_lru with the documented op mapping and require identical
+     victims and membership. *)
+  QCheck.Test.make ~name:"CLOCK policy delegates to Clock_lru unchanged"
+    ~count:200 pol_ops_arb (fun ops ->
+      let p = Mcache.Policy.make c ~nframes:pol_nframes Mcache.Policy.Clock in
+      let lru = Dstruct.Clock_lru.create ~nframes:pol_nframes in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | P_insert (f, touched) ->
+              Mcache.Policy.note_insert p f ~touched;
+              Dstruct.Clock_lru.set_active lru f true;
+              if touched then Dstruct.Clock_lru.touch lru f
+          | P_touch f ->
+              ignore (Mcache.Policy.touch p f);
+              Dstruct.Clock_lru.touch lru f
+          | P_remove f ->
+              Mcache.Policy.note_remove p f;
+              Dstruct.Clock_lru.set_active lru f false
+          | P_evict n ->
+              let got, _ = Mcache.Policy.evict_candidates p n in
+              if got <> Dstruct.Clock_lru.evict_candidates lru n then
+                ok := false);
+          if Mcache.Policy.active_count p <> Dstruct.Clock_lru.active_count lru
+          then ok := false;
+          for f = 0 to pol_nframes - 1 do
+            if Mcache.Policy.is_active p f <> Dstruct.Clock_lru.is_active lru f
+            then ok := false
+          done)
+        ops;
+      !ok)
+
+let policy_random_deterministic_and_valid =
+  (* Sampled-LRU draws from its own seeded stream: two instances fed the
+     same ops must pick the same victims, every victim must have been
+     resident, and eviction must drain exactly min(n, resident). *)
+  QCheck.Test.make ~name:"random policy is seeded-deterministic and valid"
+    ~count:200 pol_ops_arb (fun ops ->
+      let mk () = Mcache.Policy.make c ~nframes:pol_nframes (Mcache.Policy.Random 42) in
+      let p1 = mk () and p2 = mk () in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | P_insert (f, touched) ->
+              Mcache.Policy.note_insert p1 f ~touched;
+              Mcache.Policy.note_insert p2 f ~touched
+          | P_touch f ->
+              ignore (Mcache.Policy.touch p1 f);
+              ignore (Mcache.Policy.touch p2 f)
+          | P_remove f ->
+              Mcache.Policy.note_remove p1 f;
+              Mcache.Policy.note_remove p2 f
+          | P_evict n ->
+              let before = Mcache.Policy.active_count p1 in
+              let was = Array.init pol_nframes (Mcache.Policy.is_active p1) in
+              let v1, _ = Mcache.Policy.evict_candidates p1 n in
+              let v2, _ = Mcache.Policy.evict_candidates p2 n in
+              if v1 <> v2 then ok := false;
+              if List.length v1 <> min n before then ok := false;
+              if List.length (List.sort_uniq compare v1) <> List.length v1 then
+                ok := false;
+              List.iter
+                (fun f ->
+                  if not was.(f) then ok := false;
+                  if Mcache.Policy.is_active p1 f then ok := false)
+                v1)
+        ops;
+      !ok)
+
+let clock_retire_clears_reference_bit () =
+  (* Regression: shrink used to deactivate a stolen frame without
+     clearing its reference bit, so a later grow re-added the frame with
+     stale recency.  [retire] must scrub everything; [set_active false]
+     alone (the old behaviour) provably does not. *)
+  let lru = Dstruct.Clock_lru.create ~nframes:4 in
+  Dstruct.Clock_lru.set_active lru 0 true;
+  Dstruct.Clock_lru.touch lru 0;
+  Dstruct.Clock_lru.set_active lru 0 false;
+  Alcotest.(check bool) "set_active false leaves the ref bit" true
+    (Dstruct.Clock_lru.is_referenced lru 0);
+  Dstruct.Clock_lru.set_active lru 0 true;
+  Dstruct.Clock_lru.retire lru 0;
+  Alcotest.(check bool) "retire clears the ref bit" false
+    (Dstruct.Clock_lru.is_referenced lru 0);
+  Alcotest.(check bool) "retired frame is inactive" false
+    (Dstruct.Clock_lru.is_active lru 0)
+
+let shrink_grow_under_every_policy () =
+  (* Retired frames must leave no policy metadata behind: shrink, grow
+     the frames back, then hammer well past capacity — the cache must
+     keep working (a stale queue slot or ref bit would surface as a
+     duplicate/ghost victim and corrupt the frame accounting). *)
+  List.iter
+    (fun kind ->
+      let name = Mcache.Policy.kind_to_string kind in
+      let r =
+        make_rig ~frames:16
+          ~tweak:(fun cfg ->
+            { cfg with Mcache.Dram_cache.max_frames = 32; policy = kind })
+          ()
+      in
+      in_sim (fun () ->
+          for p = 0 to 15 do
+            Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p)
+              ~vpn:(5000 + p) ~write:false ()
+          done;
+          checki (name ^ ": shrink") 8 (Mcache.Dram_cache.shrink r.cache ~frames:8);
+          checki (name ^ ": grow") 8 (Mcache.Dram_cache.grow r.cache ~frames:8);
+          for p = 0 to 63 do
+            Mcache.Dram_cache.fault r.cache ~core:0 ~key:(key p)
+              ~vpn:(6000 + p) ~write:false ()
+          done;
+          Alcotest.(check bool) (name ^ ": usable after shrink/grow") true
+            (Mcache.Dram_cache.is_resident r.cache ~key:(key 63));
+          checki (name ^ ": frame accounting intact") 16
+            (Mcache.Dram_cache.frames_total r.cache)))
+    Mcache.Policy.all_kinds
+
+let degraded_eviction_skips_dirty_under_every_policy () =
+  (* Once an error storm forces read-only mode, write-back is unsafe: a
+     policy may only surface clean victims.  Dirty pages must stay
+     resident (their only durable copy is the DRAM frame) while reads
+     keep working off the clean frames — for every policy. *)
+  List.iter
+    (fun kind ->
+      let name = Mcache.Policy.kind_to_string kind in
+      let spec = { Fault.Plan.default with Fault.Plan.write_error = 1.0 } in
+      Fault.with_plan (Fault.Plan.make spec) (fun () ->
+          let machine = Hw.Machine.create () in
+          let pt = Hw.Page_table.create () in
+          let cfg =
+            {
+              (Mcache.Dram_cache.default_config ~frames:16) with
+              Mcache.Dram_cache.policy = kind;
+            }
+          in
+          let cache =
+            Mcache.Dram_cache.create ~costs:c ~machine ~page_table:pt cfg
+          in
+          let dev = Sdevice.Nvme.create ~name:"pol-nvme" () in
+          let access = Sdevice.Access.spdk_nvme c dev in
+          Mcache.Dram_cache.register_file cache ~file_id:1 ~access
+            ~translate:(fun p -> if p < 256 then Some p else None);
+          Mcache.Dram_cache.set_shoot_cores cache [ 0 ];
+          in_sim (fun () ->
+              for p = 0 to 7 do
+                Mcache.Dram_cache.fault cache ~core:0 ~key:(key p)
+                  ~vpn:(7000 + p) ~write:true ()
+              done;
+              for p = 8 to 15 do
+                Mcache.Dram_cache.fault cache ~core:0 ~key:(key p)
+                  ~vpn:(7000 + p) ~write:false ()
+              done;
+              for _ = 1 to 8 do
+                match Mcache.Dram_cache.msync cache ~core:0 () with
+                | () -> Alcotest.fail (name ^ ": msync acked a failed flush")
+                | exception Fault.Io_error { write = true; _ } -> ()
+              done;
+              Alcotest.(check bool) (name ^ ": degraded") true
+                (Mcache.Dram_cache.degraded cache);
+              (* reads continue: eviction reclaims only the clean half *)
+              for p = 16 to 39 do
+                Mcache.Dram_cache.fault cache ~core:0 ~key:(key p)
+                  ~vpn:(8000 + p) ~write:false ()
+              done;
+              for p = 0 to 7 do
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: dirty page %d still resident" name p)
+                  true
+                  (Mcache.Dram_cache.is_resident cache ~key:(key p))
+              done;
+              checki (name ^ ": dirty pages intact") 8
+                (Mcache.Dram_cache.dirty_pages cache);
+              Alcotest.(check bool) (name ^ ": eviction progressed") true
+                (Mcache.Dram_cache.evictions cache > 0))))
+    Mcache.Policy.all_kinds
+
 let unregistered_file_rejected () =
   let r = make_rig () in
   Alcotest.check_raises "unknown file" (Invalid_argument "Dram_cache: unregistered file 9")
@@ -460,5 +786,19 @@ let () =
           Alcotest.test_case "msync on clean cache" `Quick msync_clean_cache_is_free;
           QCheck_alcotest.to_alcotest crash_keeps_exactly_synced;
           Alcotest.test_case "unregistered file" `Quick unregistered_file_rejected;
+        ] );
+      ( "policy",
+        [
+          QCheck_alcotest.to_alcotest policy_fifo_matches_model;
+          QCheck_alcotest.to_alcotest policy_lru_matches_model;
+          QCheck_alcotest.to_alcotest policy_2q_matches_model;
+          QCheck_alcotest.to_alcotest policy_clock_delegates;
+          QCheck_alcotest.to_alcotest policy_random_deterministic_and_valid;
+          Alcotest.test_case "retire scrubs the ref bit" `Quick
+            clock_retire_clears_reference_bit;
+          Alcotest.test_case "shrink/grow under every policy" `Quick
+            shrink_grow_under_every_policy;
+          Alcotest.test_case "degraded eviction skips dirty" `Quick
+            degraded_eviction_skips_dirty_under_every_policy;
         ] );
     ]
