@@ -74,6 +74,27 @@ let policy_of_argv () =
   done;
   !policy
 
+(* --metrics-out FILE writes the merged aqmetrics snapshot of the whole
+   harness run (same format rules as aquila_cli: .prom/.txt is
+   Prometheus exposition, anything else flat JSON). *)
+let metrics_out_of_argv () =
+  let argv = Sys.argv in
+  let out = ref None in
+  let value_of i flag =
+    let fl = String.length flag in
+    let s = argv.(i) in
+    if s = flag && i + 1 < Array.length argv then Some argv.(i + 1)
+    else if String.length s > fl + 1 && String.sub s 0 (fl + 1) = flag ^ "="
+    then Some (String.sub s (fl + 1) (String.length s - fl - 1))
+    else None
+  in
+  for i = 1 to Array.length argv - 1 do
+    match value_of i "--metrics-out" with
+    | Some s -> out := Some s
+    | None -> ()
+  done;
+  !out
+
 let jobs_of_argv () =
   let jobs = ref 1 in
   (match Sys.getenv_opt "BENCH_JOBS" with
@@ -112,10 +133,11 @@ let () =
   | Some spec ->
       Printf.printf "(fault injection: %s)\n" (Fault.Plan.to_string spec)
   | None -> ());
-  Experiments.Registry.run_all ~jobs ?fault ();
-  Printf.printf "\n### Ablations (DESIGN.md section 5)\n%!";
-  Experiments.Fanout.run ~jobs ?fault Ablations.jobs;
-  Printf.printf "\n### Sensitivity sweeps (beyond the paper's fixed points)\n%!";
-  Experiments.Fanout.run ~jobs ?fault Sweeps.jobs;
+  Experiments.Scenario.with_metrics ?out:(metrics_out_of_argv ()) (fun () ->
+      Experiments.Registry.run_all ~jobs ?fault ();
+      Printf.printf "\n### Ablations (DESIGN.md section 5)\n%!";
+      Experiments.Fanout.run ~jobs ?fault Ablations.jobs;
+      Printf.printf "\n### Sensitivity sweeps (beyond the paper's fixed points)\n%!";
+      Experiments.Fanout.run ~jobs ?fault Sweeps.jobs);
   Printf.printf "\n### Substrate microbenchmarks (Bechamel, wall-clock of the simulator's own data structures)\n%!";
   Micro_bechamel.run ()

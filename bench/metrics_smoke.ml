@@ -1,0 +1,138 @@
+(* Metrics-overhead smoke test.
+
+   aqmetrics counters are always on — there is no disabled path to fall
+   back to — so the invariant gated here is that the counters are cheap
+   enough to leave on: their total cost over the fig5-style page-fault
+   microbenchmark must stay under METRICS_SMOKE_MAX (default 1%) of the
+   workload's wall time, with the profiler off (its probes reduce to one
+   atomic load and a branch, already gated by trace_smoke's twin).
+
+   Method, mirroring trace_smoke: the per-store cost c of a bound cell is
+   calibrated over a 20M-iteration increment loop; the number of stores N
+   the workload performs is estimated from its own merged snapshot
+   (counters contribute their value — an overestimate for multi-unit
+   add()s, which only makes the gate stricter; histograms contribute
+   3 stores per observation); the wall time T is the best of five runs.
+   The always-on overhead is then c * N / T.  An absolute bar
+   METRICS_SMOKE_MAX_NS (default 8 ns) on c catches a hot-path
+   regression even if the workload slows down in step.
+
+   The run also re-checks snapshot determinism (two identical runs must
+   serialize to identical JSON) and, with --out FILE, writes the
+   workload's flat JSON snapshot for bench/perf_gate's metric-key
+   trajectory gate (BENCH_metrics.json in CI). *)
+
+let wall f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let workload () =
+  let eng = Sim.Engine.create () in
+  let stack =
+    Experiments.Scenario.make_aquila ~frames:1024 ~dev:Experiments.Scenario.Pmem
+      ()
+  in
+  Experiments.Microbench.run ~eng
+    ~sys:(Experiments.Microbench.Aq stack)
+    ~file_pages:4096 ~shared:true ~threads:8 ~ops_per_thread:4000 ()
+
+(* Upper bound on the number of int stores behind a snapshot. *)
+let stores_estimate samples =
+  List.fold_left
+    (fun acc (s : Metrics.Registry.sample) ->
+      match s.s_kind with
+      | Metrics.Registry.Counter -> acc + s.s_value
+      | Metrics.Registry.Gauge -> acc + 1
+      | Metrics.Registry.Histogram -> acc + (3 * s.s_count))
+    0 samples
+
+let out_of_argv () =
+  let out = ref None in
+  let argv = Sys.argv in
+  for i = 1 to Array.length argv - 1 do
+    if argv.(i) = "--out" && i + 1 < Array.length argv then
+      out := Some argv.(i + 1)
+  done;
+  !out
+
+let () =
+  let budget =
+    match Sys.getenv_opt "METRICS_SMOKE_MAX" with
+    | Some s -> float_of_string s
+    | None -> 0.01
+  in
+  let budget_ns =
+    match Sys.getenv_opt "METRICS_SMOKE_MAX_NS" with
+    | Some s -> float_of_string s
+    | None -> 8.
+  in
+  ignore (workload ());
+  (* store count and reference snapshot for one workload run *)
+  Metrics.Registry.reset ();
+  ignore (workload ());
+  let samples = Metrics.Registry.snapshot () in
+  let stores = stores_estimate samples in
+  let json1 = Metrics.Export.json samples in
+  (* same-seed determinism: a second run must serialize identically *)
+  Metrics.Registry.reset ();
+  ignore (workload ());
+  let json2 = Metrics.Export.json (Metrics.Registry.snapshot ()) in
+  if json1 <> json2 then begin
+    Printf.printf "FAIL: metrics snapshot differs between identical runs\n";
+    exit 1
+  end;
+  (match out_of_argv () with
+  | Some path ->
+      Metrics.Export.to_file path json1;
+      Printf.printf "metrics smoke: snapshot -> %s\n" path
+  | None -> ());
+  (* best-of-N wall time of the (always-instrumented) workload *)
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let _, dt = wall workload in
+    if dt < !best then best := dt
+  done;
+  (* per-store cost of a bound cell (registered after the snapshot
+     above, so it never appears in BENCH_metrics.json); the empty-loop
+     baseline is subtracted so the loop counter's own cost is not
+     charged to the store *)
+  let cell =
+    Metrics.Registry.counter ~help:"calibration loop" "metrics_smoke_calib"
+  in
+  let calls = 20_000_000 in
+  let best_store = ref infinity and best_empty = ref infinity in
+  for _ = 1 to 3 do
+    let _, dt =
+      wall (fun () ->
+          for _ = 1 to calls do
+            Metrics.Registry.incr cell
+          done)
+    in
+    if dt < !best_store then best_store := dt;
+    let _, dt0 =
+      wall (fun () ->
+          for i = 1 to calls do
+            ignore (Sys.opaque_identity i)
+          done)
+    in
+    if dt0 < !best_empty then best_empty := dt0
+  done;
+  let per_call =
+    Float.max 0. (!best_store -. !best_empty) /. float_of_int calls
+  in
+  let overhead = per_call *. float_of_int stores /. !best in
+  Printf.printf
+    "metrics smoke: ~%d stores, %.2f ns/store (budget %.1f ns), workload \
+     %.3f s -> overhead %.4f%% (budget %.2f%%)\n"
+    stores (per_call *. 1e9) budget_ns !best (overhead *. 100.)
+    (budget *. 100.);
+  if per_call *. 1e9 >= budget_ns then begin
+    Printf.printf "FAIL: per-store cost above absolute budget\n";
+    exit 1
+  end;
+  if overhead >= budget then begin
+    Printf.printf "FAIL: always-on metrics overhead above budget\n";
+    exit 1
+  end;
+  Printf.printf "OK\n"

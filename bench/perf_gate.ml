@@ -149,6 +149,14 @@ let parse_file path =
 type dir = Lower | Higher
 
 let leaf key =
+  (* aqmetrics keys carry a {label=value,...} suffix
+     ("mcache_hits{policy=clock}"); the gated leaf is the family name with
+     that suffix stripped, so one rule covers every labelled series. *)
+  let key =
+    match String.index_opt key '{' with
+    | Some i -> String.sub key 0 i
+    | None -> key
+  in
   match String.rindex_opt key '.' with
   | Some i -> String.sub key (i + 1) (String.length key - i - 1)
   | None -> key
@@ -160,6 +168,15 @@ let dir_of key =
     | "vtime_per_op" | "misses" | "evictions" | "wb_pages" | "final_cycles" ->
         Some Lower
     | "hit_rate" -> Some Higher
+    (* aqmetrics families (BENCH_metrics.json, labelled series).  All are
+       deterministic virtual counters; engine_events_fast is deliberately
+       ungated — fast-path/queued shifts are legal optimizations. *)
+    | "mcache_hits" -> Some Higher
+    | "mcache_misses" | "mcache_evictions" | "mcache_wb_pages"
+    | "mcache_sigbus" | "hw_tlb_misses" | "hw_tlb_shootdowns"
+    | "aquila_page_faults" | "engine_events" | "sdevice_reads"
+    | "sdevice_writes" | "fault_injected" | "linux_cache_misses" ->
+        Some Lower
     | _ -> None
 
 type verdict = { failures : (string * float * float) list; checked : int }

@@ -41,6 +41,17 @@ let jobs_arg =
               Each experiment owns its engine, RNG and seeds, so results \
               and output bytes are identical to a sequential run.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the merged aqmetrics snapshot of the run to $(docv): \
+              Prometheus text exposition if it ends in .prom or .txt, a \
+              flat JSON snapshot otherwise.  Counters merge across \
+              $(b,--jobs) domains, so the file is byte-identical at any \
+              parallelism.")
+
 let policy_conv =
   let parse s =
     match Mcache.Policy.kind_of_string s with
@@ -103,7 +114,7 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see 'list'), or 'all'.")
   in
-  let run id trace_out jobs plan crash_at policy =
+  let run id trace_out jobs plan crash_at policy metrics_out =
     match (resolve id, fault_spec_of plan crash_at) with
     | Error msg, _ -> `Error (false, msg)
     | _, Error msg -> `Error (true, "--fault-plan: " ^ msg)
@@ -119,15 +130,16 @@ let run_cmd =
           end
           else jobs
         in
-        Experiments.Scenario.with_trace ?out:trace_out (fun () ->
-            run_entries ~jobs ?fault entries);
+        Experiments.Scenario.with_metrics ?out:metrics_out (fun () ->
+            Experiments.Scenario.with_trace ?out:trace_out (fun () ->
+                run_entries ~jobs ?fault entries));
         `Ok ()
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
         (const run $ id $ trace_out_arg $ jobs_arg $ fault_plan_arg
-       $ crash_at_arg $ policy_arg))
+       $ crash_at_arg $ policy_arg $ metrics_out_arg))
 
 let trace_cmd =
   let doc = "Run an experiment under the tracer and export the trace." in
@@ -179,7 +191,7 @@ let trace_cmd =
                 dropped on overflow (the drop count is recorded in the \
                 trace).")
   in
-  let run id out csv summary buffer policy =
+  let run id out csv summary buffer policy metrics_out =
     match resolve id with
     | Error msg -> `Error (false, msg)
     | Ok _ when buffer <= 0 ->
@@ -187,13 +199,17 @@ let trace_cmd =
     | Ok entries ->
         Experiments.Scenario.set_policy policy;
         let summary = if summary > 0 then Some summary else None in
-        Experiments.Scenario.with_trace ~buffer_per_core:buffer ~out ?csv
-          ?summary (fun () -> run_entries entries);
+        Experiments.Scenario.with_metrics ?out:metrics_out (fun () ->
+            Experiments.Scenario.with_trace ~buffer_per_core:buffer ~out ?csv
+              ?summary (fun () -> run_entries entries));
         `Ok ()
   in
   Cmd.v
     (Cmd.info "trace" ~doc ~man)
-    Term.(ret (const run $ id $ out $ csv $ summary $ buffer $ policy_arg))
+    Term.(
+      ret
+        (const run $ id $ out $ csv $ summary $ buffer $ policy_arg
+       $ metrics_out_arg))
 
 let faultcheck_cmd =
   let doc = "Crash-consistency sweep: inject power cuts, verify durability." in
@@ -240,7 +256,7 @@ let faultcheck_cmd =
                 msync disabled): the sweep is expected to report \
                 violations, proving the checker has teeth.")
   in
-  let run seeds points mode broken plan crash_at policy =
+  let run seeds points mode broken plan crash_at policy metrics_out =
     if seeds < 1 || points < 1 then
       `Error (true, "--seeds and --points must be >= 1")
     else
@@ -250,6 +266,7 @@ let faultcheck_cmd =
           let spec = Option.value fault ~default:Fault.Plan.default in
           let seeds = List.init seeds (fun i -> i + 1) in
           let reports =
+            Experiments.Scenario.with_metrics ?out:metrics_out @@ fun () ->
             (match mode with
             | `Micro | `All ->
                 [
@@ -284,9 +301,129 @@ let faultcheck_cmd =
     Term.(
       ret
         (const run $ seeds $ points $ mode $ broken $ fault_plan_arg
-       $ crash_at_arg $ policy_arg))
+       $ crash_at_arg $ policy_arg $ metrics_out_arg))
+
+let report_cmd =
+  let doc = "Run an experiment and print its metrics breakdown." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the experiment(s) selected by $(i,ID) with a fresh metrics \
+         epoch and prints the merged counter/gauge/histogram snapshot as \
+         a table (nonzero series only).  $(b,--metrics-out) additionally \
+         writes the snapshot to a file; $(b,--profile) enables the \
+         virtual-time sampling profiler and writes folded stacks \
+         (flamegraph.pl / speedscope); $(b,--timeseries) records a \
+         periodic snapshot CSV.  Counter output is byte-identical at any \
+         $(b,--jobs) level; profiling forces a sequential run.";
+    ]
+  in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id or prefix (see 'list'), or 'all'.")
+  in
+  let families =
+    Arg.(
+      value
+      & flag
+      & info [ "families" ]
+          ~doc:"Also print the registered metric families with their help \
+                strings.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"Write a folded-stack virtual-time profile to $(docv) \
+                (one 'fiber;label count' line per stack; feed to \
+                flamegraph.pl or speedscope).  Forces $(b,--jobs) 1.")
+  in
+  let sample_period =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "sample-period" ] ~docv:"CYCLES"
+          ~doc:"Profiler sampling grid in virtual cycles.")
+  in
+  let timeseries =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeseries" ] ~docv:"FILE"
+          ~doc:"Write a long-format CSV (cycles,key,value) sampling every \
+                metric on a virtual-time grid.  Forces $(b,--jobs) 1.")
+  in
+  let ts_period =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "timeseries-period" ] ~docv:"CYCLES"
+          ~doc:"Timeseries sampling period in virtual cycles.")
+  in
+  let run id jobs plan crash_at policy metrics_out families profile
+      sample_period timeseries ts_period =
+    match (resolve id, fault_spec_of plan crash_at) with
+    | Error msg, _ -> `Error (false, msg)
+    | _, Error msg -> `Error (true, "--fault-plan: " ^ msg)
+    | Ok _, _ when jobs < 1 -> `Error (true, "--jobs must be >= 1")
+    | Ok _, _ when sample_period <= 0 || ts_period <= 0 ->
+        `Error (true, "--sample-period and --timeseries-period must be > 0")
+    | Ok entries, Ok fault ->
+        Experiments.Scenario.set_policy policy;
+        let profiling = profile <> None || timeseries <> None in
+        (* The profiler is domain-local, like the tracer. *)
+        let jobs =
+          if profiling && jobs > 1 then begin
+            Printf.eprintf
+              "aquila_cli: --profile/--timeseries forces --jobs 1\n%!";
+            1
+          end
+          else jobs
+        in
+        Metrics.Registry.reset ();
+        if profiling then
+          Metrics.Profile.start ~period:sample_period
+            ~ts_period:(match timeseries with None -> 0 | Some _ -> ts_period)
+            ();
+        run_entries ~jobs ?fault entries;
+        if profiling then Metrics.Profile.stop ();
+        let samples = Metrics.Registry.snapshot () in
+        if families then Stats.Metrics_report.print_families samples;
+        Stats.Metrics_report.print samples;
+        (match metrics_out with
+        | Some path ->
+            Metrics.Export.write ~path samples;
+            Printf.printf "metrics: snapshot -> %s\n%!" path
+        | None -> ());
+        (match profile with
+        | Some path ->
+            Metrics.Export.to_file path (Metrics.Profile.folded ());
+            Printf.printf "metrics: folded profile -> %s\n%!" path
+        | None -> ());
+        (match timeseries with
+        | Some path ->
+            Metrics.Export.to_file path (Metrics.Profile.timeseries_csv ());
+            Printf.printf "metrics: timeseries -> %s\n%!" path
+        | None -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc ~man)
+    Term.(
+      ret
+        (const run $ id $ jobs_arg $ fault_plan_arg $ crash_at_arg
+       $ policy_arg $ metrics_out_arg $ families $ profile $ sample_period
+       $ timeseries $ ts_period))
 
 let () =
   let doc = "Reproduction harness for 'Memory-Mapped I/O on Steroids' (EuroSys '21)" in
   let info = Cmd.info "aquila_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; faultcheck_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; report_cmd; faultcheck_cmd ]))

@@ -47,6 +47,8 @@ type t = {
   mutable thread_cores : int list;
   mutable s_accesses : int;
   mutable s_faults : int;
+  m_accesses : Metrics.Registry.cell;
+  m_faults : Metrics.Registry.cell;
 }
 
 let create ?(costs = Hw.Costs.default) ?machine cfg =
@@ -67,6 +69,12 @@ let create ?(costs = Hw.Costs.default) ?machine cfg =
     thread_cores = [];
     s_accesses = 0;
     s_faults = 0;
+    m_accesses =
+      Metrics.Registry.counter ~help:"page-granular memory accesses"
+        "aquila_mem_accesses";
+    m_faults =
+      Metrics.Registry.counter ~help:"page faults taken by the Aquila runtime"
+        "aquila_page_faults";
   }
 
 let costs t = t.ccosts
@@ -225,6 +233,7 @@ let rec touch_page ?(attempt = 0) t region ~page ~write buf =
   let vpn = region.vstart + page in
   let core = current_core () in
   t.s_accesses <- t.s_accesses + 1;
+  Metrics.Registry.incr t.m_accesses;
   let irq = Hw.Machine.drain_irq t.cmachine ~core in
   Sim.Costbuf.add buf "irq" irq;
   let own = (Hw.Machine.core t.cmachine core).Hw.Machine.tlb in
@@ -235,6 +244,7 @@ let rec touch_page ?(attempt = 0) t region ~page ~write buf =
       pte.Hw.Page_table.pfn
   | _ ->
       t.s_faults <- t.s_faults + 1;
+      Metrics.Registry.incr t.m_faults;
       (* Page-fault begin/end span; value encodes the cause (1 = write). *)
       let ft0 = Sim.Probe.span_start () in
       (* Exception in non-root ring 0: no protection-domain switch. *)

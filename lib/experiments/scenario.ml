@@ -188,3 +188,46 @@ let with_trace ?(buffer_per_core = 4096) ?out ?csv ?summary f =
       | exception e ->
           ignore (Trace.stop ());
           raise e)
+
+(* Run [f] with a fresh metrics epoch and export the requested sinks.
+   Counters are always on, so "fresh epoch" just zeroes the registry —
+   the snapshot then covers exactly this run, whatever ran earlier in
+   the process.  [profile]/[timeseries] additionally start the
+   virtual-time sampling profiler (domain-local: callers force a
+   sequential run, as with tracing). *)
+let with_metrics ?out ?profile ?(sample_period = 10_000) ?timeseries
+    ?(ts_period = 1_000_000) f =
+  match (out, profile, timeseries) with
+  | None, None, None -> f ()
+  | _ ->
+      Metrics.Registry.reset ();
+      let profiling = profile <> None || timeseries <> None in
+      if profiling then
+        Metrics.Profile.start ~period:sample_period
+          ~ts_period:(match timeseries with None -> 0 | Some _ -> ts_period)
+          ();
+      let finish () =
+        if profiling then Metrics.Profile.stop ();
+        (match out with
+        | Some path ->
+            Metrics.Export.write ~path (Metrics.Registry.snapshot ());
+            Sim.Sink.printf "metrics: snapshot -> %s\n%!" path
+        | None -> ());
+        (match profile with
+        | Some path ->
+            Metrics.Export.to_file path (Metrics.Profile.folded ());
+            Sim.Sink.printf "metrics: folded profile -> %s\n%!" path
+        | None -> ());
+        match timeseries with
+        | Some path ->
+            Metrics.Export.to_file path (Metrics.Profile.timeseries_csv ());
+            Sim.Sink.printf "metrics: timeseries -> %s\n%!" path
+        | None -> ()
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          if profiling then Metrics.Profile.stop ();
+          raise e)

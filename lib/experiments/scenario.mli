@@ -82,3 +82,22 @@ val with_trace :
     (load in Perfetto / chrome://tracing), [csv] a flat CSV, [summary]
     a top-N span table on stdout.  With no sink requested [f] runs
     untraced.  The tracer is stopped even if [f] raises. *)
+
+val with_metrics :
+  ?out:string ->
+  ?profile:string ->
+  ?sample_period:int ->
+  ?timeseries:string ->
+  ?ts_period:int ->
+  (unit -> 'a) ->
+  'a
+(** [with_metrics f] zeroes the (always-on) metrics registry, runs [f],
+    and exports the requested sinks: [out] writes the merged snapshot
+    (Prometheus text for [.prom]/[.txt] paths, flat JSON otherwise),
+    [profile] starts the virtual-time sampling profiler (grid period
+    [sample_period] cycles, default 10k) and writes folded stacks for
+    flamegraph.pl / speedscope, [timeseries] records a full snapshot
+    every [ts_period] virtual cycles (default 1M) and writes a long-form
+    CSV.  With no sink requested, [f] runs untouched.  The profiler is
+    domain-local — callers should force [--jobs 1] when profiling, as
+    with tracing; plain counter snapshots merge across any fan-out. *)

@@ -163,6 +163,27 @@ module Plan = struct
     ]
 end
 
+(* Plans can be constructed on one domain and drawn from another (the
+   fan-out makes them per job), so metric cells are bound lazily per
+   domain instead of living in the plan record.  Draws only happen when
+   injection is active, so the DLS lookup costs nothing in clean runs. *)
+let m_injected_key : Metrics.Registry.cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Metrics.Registry.counter
+        ~help:"faults injected (I/O errors, torn writes, latency spikes)"
+        "fault_injected")
+
+let m_retries_key : Metrics.Registry.cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Metrics.Registry.counter ~help:"I/O retries caused by injected faults"
+        "fault_retries")
+
+let m_crashes_key : Metrics.Registry.cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Metrics.Registry.counter ~help:"injected crashes fired" "fault_crashes")
+
+let note_injected () = Metrics.Registry.incr (Domain.DLS.get m_injected_key)
+
 let live_plans = Atomic.make 0
 
 let plan_key : Plan.t option ref Domain.DLS.key =
@@ -172,6 +193,7 @@ let crash_hook (p : Plan.t) at =
   fun (n : int) ->
     if n >= at && not p.Plan.did_crash then begin
       p.Plan.did_crash <- true;
+      Metrics.Registry.incr (Domain.DLS.get m_crashes_key);
       raise (Crash { at_event = n })
     end
 
@@ -234,11 +256,13 @@ let draw_read (p : Plan.t) ~dev ~page ~count =
   p.Plan.n_probes <- p.Plan.n_probes + 1;
   if span_bad p ~dev ~page ~count then begin
     p.Plan.n_read_errors <- p.Plan.n_read_errors + 1;
+    note_injected ();
     Some Permanent
   end
   else if p.Plan.sp.Plan.read_error > 0.0 && Sim.Rng.float p.Plan.rng < p.Plan.sp.Plan.read_error
   then begin
     p.Plan.n_read_errors <- p.Plan.n_read_errors + 1;
+    note_injected ();
     Some (draw_permanence p ~dev ~page)
   end
   else None
@@ -247,6 +271,7 @@ let draw_write (p : Plan.t) ~dev ~page ~count =
   p.Plan.n_probes <- p.Plan.n_probes + 1;
   if span_bad p ~dev ~page ~count then begin
     p.Plan.n_write_errors <- p.Plan.n_write_errors + 1;
+    note_injected ();
     W_error Permanent
   end
   else if
@@ -254,6 +279,7 @@ let draw_write (p : Plan.t) ~dev ~page ~count =
     && Sim.Rng.float p.Plan.rng < p.Plan.sp.Plan.write_error
   then begin
     p.Plan.n_write_errors <- p.Plan.n_write_errors + 1;
+    note_injected ();
     if
       count > 1
       && p.Plan.sp.Plan.torn_write > 0.0
@@ -272,9 +298,12 @@ let draw_spike (p : Plan.t) =
     && Sim.Rng.float p.Plan.rng < p.Plan.sp.Plan.latency_spike
   then begin
     p.Plan.n_spikes <- p.Plan.n_spikes + 1;
+    note_injected ();
     max 2 p.Plan.sp.Plan.spike_factor
   end
   else 1
 
-let note_retry (p : Plan.t) = p.Plan.n_retries <- p.Plan.n_retries + 1
+let note_retry (p : Plan.t) =
+  p.Plan.n_retries <- p.Plan.n_retries + 1;
+  Metrics.Registry.incr (Domain.DLS.get m_retries_key)
 let note_sigbus (p : Plan.t) = p.Plan.n_sigbus <- p.Plan.n_sigbus + 1

@@ -4,6 +4,18 @@ type send_mode = Posted | Vmexit_send | Kernel_ipi
 let sent_key = Domain.DLS.new_key (fun () -> ref 0)
 let sent () = Domain.DLS.get sent_key
 
+(* Metric cells are domain-local too; shootdowns are far off the hot
+   path, so the DLS lookup per batch is fine. *)
+let m_shoot_key : Metrics.Registry.cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Metrics.Registry.counter ~help:"TLB shootdown batches"
+        "hw_tlb_shootdowns")
+
+let m_ipi_key : Metrics.Registry.cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Metrics.Registry.counter ~help:"IPIs delivered to remote cores"
+        "hw_ipis_sent")
+
 let send_cost (c : Costs.t) = function
   | Posted -> c.ipi_send_posted
   | Vmexit_send -> c.ipi_send_vmexit
@@ -15,6 +27,8 @@ let shootdown m (c : Costs.t) ~mode ~src ~targets ~vpns =
   | [] -> 0L
   | _ :: _ ->
       incr (sent ());
+      Metrics.Registry.incr (Domain.DLS.get m_shoot_key);
+      Metrics.Registry.add (Domain.DLS.get m_ipi_key) (List.length targets);
       let npages = List.length vpns in
       if Trace.on () then begin
         Sim.Probe.instant ~cat:"hw"

@@ -4,11 +4,23 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invals : int;
+  (* all per-core TLBs share the same (unlabelled) metric series *)
+  m_hits : Metrics.Registry.cell;
+  m_misses : Metrics.Registry.cell;
 }
 
 let create ?(capacity = 1536) () =
   if capacity <= 0 then invalid_arg "Tlb.create: capacity";
-  { slots = Array.make capacity (-1); capacity; hits = 0; misses = 0; invals = 0 }
+  {
+    slots = Array.make capacity (-1);
+    capacity;
+    hits = 0;
+    misses = 0;
+    invals = 0;
+    m_hits = Metrics.Registry.counter ~help:"TLB hits" "hw_tlb_hits";
+    m_misses =
+      Metrics.Registry.counter ~help:"TLB misses (page walks)" "hw_tlb_misses";
+  }
 
 let slot_of t vpn = vpn mod t.capacity
 
@@ -16,10 +28,12 @@ let access t (c : Costs.t) ~vpn =
   let s = slot_of t vpn in
   if t.slots.(s) = vpn then begin
     t.hits <- t.hits + 1;
+    Metrics.Registry.incr t.m_hits;
     0L
   end
   else begin
     t.misses <- t.misses + 1;
+    Metrics.Registry.incr t.m_misses;
     t.slots.(s) <- vpn;
     if Trace.on () then Sim.Probe.instant ~cat:"hw" "tlb_miss_walk";
     c.tlb_miss_walk

@@ -50,6 +50,11 @@ type t = {
   mutable s_wb_ios : int;
   mutable s_wb_errors : int;
   mutable s_sigbus : int;
+  m_hits : Metrics.Registry.cell;
+  m_misses : Metrics.Registry.cell;
+  m_evictions : Metrics.Registry.cell;
+  m_wb_ios : Metrics.Registry.cell;
+  m_sigbus : Metrics.Registry.cell;
 }
 
 let create ~costs ~machine ~page_table cfg =
@@ -79,6 +84,21 @@ let create ~costs ~machine ~page_table cfg =
       s_wb_ios = 0;
       s_wb_errors = 0;
       s_sigbus = 0;
+      m_hits =
+        Metrics.Registry.counter ~help:"Linux page-cache hits"
+          "linux_cache_hits";
+      m_misses =
+        Metrics.Registry.counter ~help:"Linux page-cache misses"
+          "linux_cache_misses";
+      m_evictions =
+        Metrics.Registry.counter ~help:"Linux page-cache frames reclaimed"
+          "linux_cache_evictions";
+      m_wb_ios =
+        Metrics.Registry.counter ~help:"Linux write-back I/Os"
+          "linux_cache_wb_ios";
+      m_sigbus =
+        Metrics.Registry.counter ~help:"Linux faults surfaced as SIGBUS"
+          "linux_cache_sigbus";
     }
   in
   for i = 0 to cfg.frames - 1 do
@@ -156,6 +176,7 @@ let writeback_pairs t pairs =
          with
         | Ok () ->
             t.s_wb_ios <- t.s_wb_ios + 1;
+            Metrics.Registry.incr t.m_wb_ios;
             []
         | Error _ ->
             t.s_wb_errors <- t.s_wb_errors + count;
@@ -296,6 +317,7 @@ let reclaim t ~core =
     torn;
   Sim.Sync.Mutex.unlock t.zone_lock;
   t.s_evictions <- t.s_evictions + List.length torn;
+  Metrics.Registry.add t.m_evictions (List.length torn);
   if Trace.on () then
     Sim.Probe.span_since ~cat:"linux"
       ~value:(Int64.of_int (List.length torn))
@@ -422,6 +444,7 @@ let rec ensure_resident t ~core ~key =
   match lookup t key with
   | Some fr ->
       t.s_hits <- t.s_hits + 1;
+      Metrics.Registry.incr t.m_hits;
       if Trace.on () then Sim.Probe.instant ~cat:"linux" "hit";
       Dstruct.Clock_lru.touch t.lru fr.fno;
       delay_sys ~label:"lru" t.costs.Hw.Costs.lru_update;
@@ -442,6 +465,7 @@ let rec ensure_resident t ~core ~key =
               Hashtbl.remove t.inflight key;
               Sim.Sync.Ivar.fill iv ();
               t.s_sigbus <- t.s_sigbus + 1;
+              Metrics.Registry.incr t.m_sigbus;
               (match Fault.active () with
               | Some p -> Fault.note_sigbus p
               | None -> ());
@@ -454,6 +478,7 @@ let rec ensure_resident t ~core ~key =
           Hashtbl.remove t.inflight key;
           Sim.Sync.Ivar.fill iv ();
           t.s_misses <- t.s_misses + 1;
+          Metrics.Registry.incr t.m_misses;
           fr)
 
 let fault t ~core ~key ~vpn ~write =

@@ -75,6 +75,15 @@ type t = {
   mutable s_sigbus : int;
   mutable wb_fail_streak : int; (* consecutive write-back rounds with failures *)
   mutable read_only : bool; (* degraded: error storm made write-back unsafe *)
+  (* always-on aqmetrics cells, one series per replacement policy *)
+  m_hits : Metrics.Registry.cell;
+  m_misses : Metrics.Registry.cell;
+  m_evictions : Metrics.Registry.cell;
+  m_wb_ios : Metrics.Registry.cell;
+  m_wb_pages : Metrics.Registry.cell;
+  m_wb_errors : Metrics.Registry.cell;
+  m_sigbus : Metrics.Registry.cell;
+  m_degraded : Metrics.Registry.cell;
 }
 
 let create ~costs ~machine ~page_table cfg =
@@ -132,6 +141,38 @@ let create ~costs ~machine ~page_table cfg =
       s_sigbus = 0;
       wb_fail_streak = 0;
       read_only = false;
+      m_hits =
+        (let labels = [ ("policy", Policy.kind_to_string cfg.policy) ] in
+         Metrics.Registry.counter ~help:"DRAM cache fault hits" ~labels
+           "mcache_hits");
+      m_misses =
+        (let labels = [ ("policy", Policy.kind_to_string cfg.policy) ] in
+         Metrics.Registry.counter ~help:"DRAM cache misses" ~labels
+           "mcache_misses");
+      m_evictions =
+        (let labels = [ ("policy", Policy.kind_to_string cfg.policy) ] in
+         Metrics.Registry.counter ~help:"frames recycled by eviction" ~labels
+           "mcache_evictions");
+      m_wb_ios =
+        (let labels = [ ("policy", Policy.kind_to_string cfg.policy) ] in
+         Metrics.Registry.counter ~help:"write-back I/Os issued" ~labels
+           "mcache_wb_ios");
+      m_wb_pages =
+        (let labels = [ ("policy", Policy.kind_to_string cfg.policy) ] in
+         Metrics.Registry.counter ~help:"dirty pages written back" ~labels
+           "mcache_wb_pages");
+      m_wb_errors =
+        (let labels = [ ("policy", Policy.kind_to_string cfg.policy) ] in
+         Metrics.Registry.counter ~help:"write-back I/O failures" ~labels
+           "mcache_wb_errors");
+      m_sigbus =
+        (let labels = [ ("policy", Policy.kind_to_string cfg.policy) ] in
+         Metrics.Registry.counter ~help:"faults surfaced as SIGBUS" ~labels
+           "mcache_sigbus");
+      m_degraded =
+        (let labels = [ ("policy", Policy.kind_to_string cfg.policy) ] in
+         Metrics.Registry.counter ~help:"transitions into read-only degraded mode"
+           ~labels "mcache_degraded_transitions");
     }
   in
   let nodes = topo.Hw.Topology.nodes in
@@ -202,6 +243,8 @@ let writeback_frames t frames buf =
         | Ok () ->
             t.s_wb_ios <- t.s_wb_ios + 1;
             t.s_wb_pages <- t.s_wb_pages + count;
+            Metrics.Registry.incr t.m_wb_ios;
+            Metrics.Registry.add t.m_wb_pages count;
             []
         | Error e ->
             if Trace.on () then Sim.Probe.instant ~cat:"fault" "wb_error";
@@ -247,9 +290,11 @@ let degrade_streak_limit = 8
 let note_wb_outcome t ~failed =
   if failed > 0 then begin
     t.s_wb_errors <- t.s_wb_errors + failed;
+    Metrics.Registry.add t.m_wb_errors failed;
     t.wb_fail_streak <- t.wb_fail_streak + 1;
     if (not t.read_only) && t.wb_fail_streak >= degrade_streak_limit then begin
       t.read_only <- true;
+      Metrics.Registry.incr t.m_degraded;
       if Trace.on () then Sim.Probe.instant ~cat:"fault" "cache_readonly"
     end
   end
@@ -364,6 +409,7 @@ let evict_batch_now t ~core buf =
           end)
         frames;
       t.s_evictions <- t.s_evictions + !recycled;
+      Metrics.Registry.add t.m_evictions !recycled;
       if Trace.on () then begin
         Sim.Probe.span_since ~cat:"mcache"
           ~value:(Int64.of_int (List.length frames))
@@ -490,6 +536,7 @@ let fault t ?readahead ~core ~key ~vpn ~write () =
     match Dstruct.Lockfree_hash.find t.index key with
     | Some frame ->
         t.s_fault_hits <- t.s_fault_hits + 1;
+        Metrics.Registry.incr t.m_hits;
         if Trace.on () then Sim.Probe.instant ~cat:"mcache" "hit";
         frame
     | None -> (
@@ -509,6 +556,7 @@ let fault t ?readahead ~core ~key ~vpn ~write () =
                 Hashtbl.remove t.inflight key;
                 Sim.Sync.Ivar.fill iv ();
                 t.s_misses <- t.s_misses + 1;
+                Metrics.Registry.incr t.m_misses;
                 frame
             | exception Fault.Io_error _ ->
                 (* the read is dead after retries: free the frame, wake
@@ -519,6 +567,7 @@ let fault t ?readahead ~core ~key ~vpn ~write () =
                 Sim.Costbuf.add buf "alloc" (Freelist.free t.fl ~core frame.fno);
                 Sim.Sync.Ivar.fill iv ();
                 t.s_sigbus <- t.s_sigbus + 1;
+                Metrics.Registry.incr t.m_sigbus;
                 (match Fault.active () with
                 | Some p -> Fault.note_sigbus p
                 | None -> ());

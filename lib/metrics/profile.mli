@@ -1,0 +1,38 @@
+(** Virtual-time sampling profiler over the engine's cost labels.
+
+    Samples are taken on a fixed virtual-time grid: a charge of [c]
+    cycles at time [now] earns one sample per grid point in
+    [(now, now+c]].  The profile is a pure function of the deterministic
+    schedule, so same-seed runs produce byte-identical output.
+
+    The profiler is per-domain (ambient through DLS, like the tracer)
+    and meant for [--jobs 1] runs. *)
+
+val live : int Atomic.t
+(** Number of running profilers across all domains.  Instrumentation
+    sites check [Atomic.get live > 0] before calling {!charge}, so the
+    disabled cost is one load and branch. *)
+
+val on : unit -> bool
+
+val start : ?period:int -> ?ts_period:int -> unit -> unit
+(** [start ()] installs a fresh profiler for this domain.  [period]
+    (default 10_000) is the sampling grid in virtual cycles;
+    [ts_period] (default 0 = off) additionally records a full metrics
+    snapshot every [ts_period] cycles for {!timeseries_csv}. *)
+
+val stop : unit -> unit
+(** Stops sampling; accumulated data stays readable until the next
+    {!start}. *)
+
+val charge : now:int -> cycles:int -> fiber:string -> label:string -> unit
+(** Credit the span [[now, now+cycles)] of [fiber] doing [label].
+    No-op when no profiler is installed in this domain. *)
+
+val folded : unit -> string
+(** Folded-stack output ("fiber;label count" lines, sorted), compatible
+    with flamegraph.pl / speedscope. *)
+
+val timeseries_csv : unit -> string
+(** Long-format CSV ([cycles,key,value]) of the periodic snapshots,
+    with RFC 4180 field escaping. *)

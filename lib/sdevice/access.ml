@@ -176,6 +176,14 @@ let host_nvme costs ~entry dev =
 let max_attempts = 5
 let backoff_base = 20_000L
 
+(* No per-instance record to hang a metric cell on here, and cells are
+   domain-local — so bind one per domain, lazily, through DLS.  Retries
+   are rare enough that the DLS lookup is irrelevant. *)
+let m_retries_key : Metrics.Registry.cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Metrics.Registry.counter ~help:"transient I/O retries (with backoff)"
+        "sdevice_io_retries")
+
 let rec attempt_io ~write t ~page ~count ~buf n =
   let r =
     if write then t.do_write ~page ~count ~src:buf
@@ -188,6 +196,7 @@ let rec attempt_io ~write t ~page ~count ~buf n =
       if n >= max_attempts then e
       else begin
         (match Fault.active () with Some p -> Fault.note_retry p | None -> ());
+        Metrics.Registry.incr (Domain.DLS.get m_retries_key);
         if Trace.on () then Sim.Probe.instant ~cat:"fault" "io_retry";
         let backoff = Int64.mul backoff_base (Int64.shift_left 1L (n - 1)) in
         Sim.Engine.idle_wait backoff;

@@ -16,9 +16,16 @@ type t = {
   mutable nwrite_errors : int;
   mutable ntorn : int;
   mutable nspikes : int;
+  (* always-on aqmetrics cells, one series per device name *)
+  m_reads : Metrics.Registry.cell;
+  m_writes : Metrics.Registry.cell;
+  m_errors : Metrics.Registry.cell;
+  m_spikes : Metrics.Registry.cell;
+  m_qdepth : Metrics.Registry.hcell;
 }
 
 let create ~name ~channels ~setup_cycles ~cycles_per_byte ~capacity_bytes () =
+  let labels = [ ("dev", name) ] in
   {
     dname = name;
     qd_name = name ^ ":queue_depth";
@@ -35,6 +42,21 @@ let create ~name ~channels ~setup_cycles ~cycles_per_byte ~capacity_bytes () =
     nwrite_errors = 0;
     ntorn = 0;
     nspikes = 0;
+    m_reads =
+      Metrics.Registry.counter ~help:"read I/Os completed" ~labels
+        "sdevice_reads";
+    m_writes =
+      Metrics.Registry.counter ~help:"write I/Os completed" ~labels
+        "sdevice_writes";
+    m_errors =
+      Metrics.Registry.counter ~help:"injected I/O errors surfaced" ~labels
+        "sdevice_errors";
+    m_spikes =
+      Metrics.Registry.counter ~help:"injected latency spikes" ~labels
+        "sdevice_spikes";
+    m_qdepth =
+      Metrics.Registry.histogram ~help:"channel occupancy at dispatch" ~labels
+        "sdevice_queue_depth";
   }
 
 let name t = t.dname
@@ -64,6 +86,7 @@ let page_span addr len =
 let occupy t ~polling ~len ~spike =
   let io0 = Sim.Probe.span_start () in
   Sim.Sync.Resource.acquire t.channels;
+  Metrics.Registry.observe t.m_qdepth (Sim.Sync.Resource.in_use t.channels);
   if Trace.on () then
     Sim.Probe.counter ~cat:"sdevice" t.qd_name
       (Int64.of_int (Sim.Sync.Resource.in_use t.channels));
@@ -83,6 +106,7 @@ let spike_of t plan =
   let s = Fault.draw_spike plan in
   if s > 1 then begin
     t.nspikes <- t.nspikes + 1;
+    Metrics.Registry.incr t.m_spikes;
     if Trace.on () then Sim.Probe.instant ~cat:"fault" "latency_spike"
   end;
   s
@@ -94,6 +118,7 @@ let read_result ?(polling = false) t ~addr ~len ~dst ~dst_off =
       occupy t ~polling ~len ~spike:1;
       Pagestore.read_bytes t.dstore ~addr ~len ~dst ~dst_off;
       t.nreads <- t.nreads + 1;
+      Metrics.Registry.incr t.m_reads;
       t.rbytes <- Int64.add t.rbytes (Int64.of_int len);
       Ok ()
   | Some plan -> (
@@ -102,11 +127,13 @@ let read_result ?(polling = false) t ~addr ~len ~dst ~dst_off =
       match Fault.draw_read plan ~dev:t.dname ~page ~count with
       | Some e ->
           t.nread_errors <- t.nread_errors + 1;
+          Metrics.Registry.incr t.m_errors;
           if Trace.on () then Sim.Probe.instant ~cat:"fault" "read_error";
           Error e
       | None ->
           Pagestore.read_bytes t.dstore ~addr ~len ~dst ~dst_off;
           t.nreads <- t.nreads + 1;
+          Metrics.Registry.incr t.m_reads;
           t.rbytes <- Int64.add t.rbytes (Int64.of_int len);
           Ok ())
 
@@ -122,6 +149,7 @@ let write_result ?(polling = false) t ~addr ~src ~src_off ~len =
       occupy t ~polling ~len ~spike:1;
       Pagestore.write_bytes t.dstore ~addr ~src ~src_off ~len;
       t.nwrites <- t.nwrites + 1;
+      Metrics.Registry.incr t.m_writes;
       t.wbytes <- Int64.add t.wbytes (Int64.of_int len);
       Ok ()
   | Some plan -> (
@@ -131,10 +159,12 @@ let write_result ?(polling = false) t ~addr ~src ~src_off ~len =
       | Fault.W_ok ->
           Pagestore.write_bytes t.dstore ~addr ~src ~src_off ~len;
           t.nwrites <- t.nwrites + 1;
+          Metrics.Registry.incr t.m_writes;
           t.wbytes <- Int64.add t.wbytes (Int64.of_int len);
           Ok ()
       | Fault.W_error e ->
           t.nwrite_errors <- t.nwrite_errors + 1;
+          Metrics.Registry.incr t.m_errors;
           if Trace.on () then Sim.Probe.instant ~cat:"fault" "write_error";
           Error e
       | Fault.W_torn keep ->
@@ -145,6 +175,7 @@ let write_result ?(polling = false) t ~addr ~src ~src_off ~len =
           if keep_bytes > 0 then
             Pagestore.write_bytes t.dstore ~addr ~src ~src_off ~len:keep_bytes;
           t.nwrite_errors <- t.nwrite_errors + 1;
+          Metrics.Registry.incr t.m_errors;
           t.ntorn <- t.ntorn + 1;
           if Trace.on () then Sim.Probe.instant ~cat:"fault" "torn_write";
           Error Fault.Transient)

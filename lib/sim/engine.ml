@@ -59,6 +59,7 @@ type ctx = {
   mutable user : int;
   mutable sys : int;
   mutable idle : int;
+  mutable ev : int; (* events executed by this fiber *)
   mutable lab : int array; (* cycles per interned label id (internal) *)
   it : interns; (* owning engine's intern table (internal) *)
 }
@@ -106,6 +107,12 @@ type t = {
   engine_rng : Rng.t;
   blocked : (int, ctx) Hashtbl.t; (* fibers parked in Suspend, by fid *)
   it : interns;
+  (* always-on metric cells, bound once at [create] for the owning
+     domain — each bump is a single unboxed int store *)
+  m_ev : Metrics.Registry.cell;
+  m_ev_fast : Metrics.Registry.cell;
+  m_spawns : Metrics.Registry.cell;
+  m_suspends : Metrics.Registry.cell;
 }
 
 type _ Effect.t +=
@@ -149,6 +156,17 @@ let create ?(seed = 42) ?(fastpath = true) () =
     engine_rng = Rng.create seed;
     blocked = Hashtbl.create 64;
     it = interns_create ();
+    m_ev =
+      Metrics.Registry.counter ~help:"simulation events executed"
+        "engine_events";
+    m_ev_fast =
+      Metrics.Registry.counter ~help:"events that took the delay fast path"
+        "engine_events_fast";
+    m_spawns =
+      Metrics.Registry.counter ~help:"fibers spawned" "engine_spawns";
+    m_suspends =
+      Metrics.Registry.counter ~help:"fibers parked in suspend"
+        "engine_suspends";
   }
 
 let now t = Int64.of_int t.now
@@ -178,10 +196,11 @@ let blocked_report t =
   List.iter
     (fun ctx ->
       Buffer.add_string b
-        (Printf.sprintf "  fiber %d %S core %d%s: user=%d sys=%d idle=%d cycles\n"
+        (Printf.sprintf
+           "  fiber %d %S core %d%s: events=%d user=%d sys=%d idle=%d cycles\n"
            ctx.fid ctx.name ctx.core
            (if ctx.daemon then " [daemon]" else "")
-           ctx.user ctx.sys ctx.idle);
+           ctx.ev ctx.user ctx.sys ctx.idle);
       List.iter
         (fun (label, cycles) ->
           Buffer.add_string b (Printf.sprintf "    %-18s %Ld\n" label cycles))
@@ -204,6 +223,15 @@ let trace_instant ~ts ~cat ctx name =
       Trace.instant tr ~ts:(Int64.of_int ts) ~core:ctx.core ~fiber:ctx.fid ~cat
         name
   | None -> ()
+
+(* Profiling: same discipline as tracing — every call site guards with
+   [Atomic.get Metrics.Profile.live > 0], so runs without a profiler pay
+   one load and branch per charge.  Unlabelled delays attribute their
+   cycles to the category name. *)
+let cat_label = function User -> "user" | Sys -> "sys"
+
+let prof_charge ~now ~cycles ctx label =
+  Metrics.Profile.charge ~now ~cycles ~fiber:ctx.name ~label
 
 let schedule t ~at thunk =
   let at = if at < t.now then t.now else at in
@@ -240,6 +268,9 @@ let run_fiber t ctx f =
                      match label with
                      | Some l -> trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx l
                      | None -> ());
+                  (if Atomic.get Metrics.Profile.live > 0 then
+                     prof_charge ~now:t.now ~cycles:c ctx
+                       (match label with Some l -> l | None -> cat_label cat));
                   let at = t.now + c in
                   t.seq <- t.seq + 1;
                   (* Fast path: nothing queued can run before (at, seq) —
@@ -253,6 +284,7 @@ let run_fiber t ctx f =
                   end
                   else
                     Pqueue.push t.q ~time:at ~seq:t.seq (fun () ->
+                        ctx.ev <- ctx.ev + 1;
                         t.current <- Some ctx;
                         continue k ()))
           | Timed_wait c ->
@@ -262,6 +294,8 @@ let run_fiber t ctx f =
                   ctx.idle <- ctx.idle + c;
                   if Atomic.get Trace.live_tracers > 0 then
                     trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx "idle";
+                  if Atomic.get Metrics.Profile.live > 0 then
+                    prof_charge ~now:t.now ~cycles:c ctx "idle";
                   let at = t.now + c in
                   t.seq <- t.seq + 1;
                   if t.fastpath && Pqueue.min_time t.q > at then begin
@@ -271,6 +305,7 @@ let run_fiber t ctx f =
                   end
                   else
                     Pqueue.push t.q ~time:at ~seq:t.seq (fun () ->
+                        ctx.ev <- ctx.ev + 1;
                         t.current <- Some ctx;
                         continue k ()))
           | Suspend register ->
@@ -279,6 +314,7 @@ let run_fiber t ctx f =
                   let t0 = t.now in
                   let resumed = ref false in
                   Hashtbl.replace t.blocked ctx.fid ctx;
+                  Metrics.Registry.incr t.m_suspends;
                   let resume () =
                     if !resumed then
                       invalid_arg
@@ -286,9 +322,14 @@ let run_fiber t ctx f =
                     resumed := true;
                     Hashtbl.remove t.blocked ctx.fid;
                     schedule t ~at:t.now (fun () ->
+                        ctx.ev <- ctx.ev + 1;
                         ctx.idle <- ctx.idle + (t.now - t0);
                         (if Atomic.get Trace.live_tracers > 0 && t.now > t0 then
                            trace_span ~ts:t0 ~dur:(t.now - t0) ~cat:"engine" ctx
+                             "blocked");
+                        (if Atomic.get Metrics.Profile.live > 0 && t.now > t0
+                         then
+                           prof_charge ~now:t0 ~cycles:(t.now - t0) ctx
                              "blocked");
                         t.current <- Some ctx;
                         continue k ())
@@ -311,10 +352,12 @@ let spawn t ?(name = "fiber") ?(core = 0) ?(daemon = false) f =
       user = 0;
       sys = 0;
       idle = 0;
+      ev = 0;
       lab = [||];
       it = t.it;
     }
   in
+  Metrics.Registry.incr t.m_spawns;
   if not daemon then t.live <- t.live + 1;
   (if Atomic.get Trace.live_tracers > 0 then
      match Trace.current () with
@@ -324,6 +367,7 @@ let spawn t ?(name = "fiber") ?(core = 0) ?(daemon = false) f =
            ~cat:"engine" "spawn"
      | None -> ());
   schedule t ~at:t.now (fun () ->
+      ctx.ev <- ctx.ev + 1;
       t.current <- Some ctx;
       run_fiber t ctx f);
   ctx
@@ -342,6 +386,11 @@ let run t =
             (* clock and current fiber were set when the delay fast-pathed *)
             t.pending <- None;
             t.nevents <- t.nevents + 1;
+            Metrics.Registry.incr t.m_ev;
+            Metrics.Registry.incr t.m_ev_fast;
+            (match t.current with
+            | Some ctx -> ctx.ev <- ctx.ev + 1
+            | None -> ());
             (match t.on_event with None -> () | Some f -> f t.nevents);
             Effect.Deep.continue k ()
         | None ->
@@ -350,6 +399,7 @@ let run t =
               t.now <- Pqueue.min_time t.q;
               let thunk = Pqueue.pop_min t.q in
               t.nevents <- t.nevents + 1;
+              Metrics.Registry.incr t.m_ev;
               (match t.on_event with None -> () | Some f -> f t.nevents);
               thunk ()
             end
@@ -377,8 +427,14 @@ let delay ?(cat = User) ?label c =
          match label with
          | Some l -> trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx l
          | None -> ());
+      (if Atomic.get Metrics.Profile.live > 0 then
+         prof_charge ~now:t.now ~cycles:c ctx
+           (match label with Some l -> l | None -> cat_label cat));
       t.seq <- t.seq + 1;
       t.nevents <- t.nevents + 1;
+      ctx.ev <- ctx.ev + 1;
+      Metrics.Registry.incr t.m_ev;
+      Metrics.Registry.incr t.m_ev_fast;
       t.now <- t.now + c;
       (match t.on_event with None -> () | Some f -> f t.nevents)
   | _ -> Effect.perform (Delay (cat, label, c))
@@ -391,8 +447,13 @@ let idle_wait c =
     when Pqueue.min_time t.q > t.now + c ->
       ctx.idle <- ctx.idle + c;
       if Atomic.get Trace.live_tracers > 0 then trace_span ~ts:t.now ~dur:c ~cat:"engine" ctx "idle";
+      if Atomic.get Metrics.Profile.live > 0 then
+        prof_charge ~now:t.now ~cycles:c ctx "idle";
       t.seq <- t.seq + 1;
       t.nevents <- t.nevents + 1;
+      ctx.ev <- ctx.ev + 1;
+      Metrics.Registry.incr t.m_ev;
+      Metrics.Registry.incr t.m_ev_fast;
       t.now <- t.now + c;
       (match t.on_event with None -> () | Some f -> f t.nevents)
   | _ -> Effect.perform (Timed_wait c)

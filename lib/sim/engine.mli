@@ -33,6 +33,9 @@ type ctx = {
   mutable user : int;  (** accumulated {!User} cycles *)
   mutable sys : int;  (** accumulated {!Sys} cycles *)
   mutable idle : int;  (** accumulated cycles spent blocked *)
+  mutable ev : int;
+      (** events this fiber executed (spawn, delays, resumes) — shown by
+          {!blocked_report} so a hung fiber's progress is visible *)
   mutable lab : int array;
       (** cycles per interned label id — internal, read via {!labels} *)
   it : interns;  (** owning engine's intern table — internal *)
@@ -80,10 +83,11 @@ val blocked_fibers : t -> (int * string) list
 
 val blocked_report : t -> string
 (** [blocked_report t] is a multi-line deadlock report: every parked
-    fiber (daemons flagged), its core and user/sys/idle cycle totals,
-    and its per-label cost breakdown ({!labels}) — so a fiber hung in a
-    fault-injection retry loop ("io_retry") is distinguishable from one
-    waiting on a lock.  See README "Debugging deadlocks". *)
+    fiber (daemons flagged), its core, the number of events it executed
+    ({!ctx.ev}), its user/sys/idle cycle totals, and its per-label cost
+    breakdown ({!labels}) — so a fiber hung in a fault-injection retry
+    loop ("io_retry") is distinguishable from one waiting on a lock.
+    See README "Debugging deadlocks". *)
 
 val set_event_hook : t -> (int -> unit) option -> unit
 (** [set_event_hook t (Some f)] calls [f nevents] after every event —

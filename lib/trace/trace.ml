@@ -322,9 +322,14 @@ let csv t =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "ts,seq,kind,core,fiber,cat,name,dur,value\n";
   iter_events t (fun s ->
+      (* cat/name are free-form probe strings — RFC 4180-escape them so a
+         comma or quote in a label cannot shift the remaining columns *)
       Buffer.add_string buf
         (Printf.sprintf "%Ld,%d,%s,%d,%d,%s,%s,%Ld,%s\n" s.ts s.seq
-           (kind_name s.kind) s.core s.fiber s.cat s.name s.dur
+           (kind_name s.kind) s.core s.fiber
+           (Metrics.Export.csv_field s.cat)
+           (Metrics.Export.csv_field s.name)
+           s.dur
            (if s.has_value then Int64.to_string s.value else "")));
   Buffer.contents buf
 

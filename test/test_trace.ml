@@ -207,6 +207,51 @@ let csv_shape () =
         (String.length l2 > 0 && String.contains l2 'd')
   | _ -> Alcotest.failf "expected 3 csv lines, got %d" (List.length lines)
 
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let csv_empty_tracer () =
+  let t = Trace.create () in
+  Alcotest.(check string)
+    "header only" "ts,seq,kind,core,fiber,cat,name,dur,value"
+    (String.trim (Trace.csv t));
+  (* the chrome export of an empty tracer is still a parseable document
+     whose only records are metadata *)
+  match field "traceEvents" (parse_json (Trace.chrome_json t)) with
+  | Some (J_list l) ->
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string)) "meta only" (Some "M")
+            (str_field "ph" e))
+        l
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let csv_counter_only () =
+  let t = Trace.create () in
+  Trace.counter t ~ts:5L ~core:0 ~cat:"q" ~value:2L "depth";
+  Trace.counter t ~ts:9L ~core:1 ~cat:"q" ~value:0L "depth";
+  match String.split_on_char '\n' (String.trim (Trace.csv t)) with
+  | [ _header; l1; l2 ] ->
+      Alcotest.(check bool) "counter kind" true (contains ~needle:",counter," l1);
+      (* a zero-valued counter sample still round-trips as 0, not "" *)
+      Alcotest.(check bool) "zero value kept" true
+        (contains ~needle:",depth,0,0" l2)
+  | lines -> Alcotest.failf "expected 3 csv lines, got %d" (List.length lines)
+
+let csv_field_escaping () =
+  let t = Trace.create () in
+  Trace.instant t ~ts:1L ~core:0 ~fiber:0 ~cat:"a,b" "na\"me";
+  Trace.span t ~ts:2L ~dur:3L ~core:0 ~fiber:1 ~cat:"plain" "ok";
+  let csv = Trace.csv t in
+  Alcotest.(check bool) "comma field quoted" true
+    (contains ~needle:",\"a,b\"," csv);
+  Alcotest.(check bool) "embedded quote doubled" true
+    (contains ~needle:"\"na\"\"me\"" csv);
+  Alcotest.(check bool) "plain fields stay bare" true
+    (contains ~needle:",plain,ok," csv)
+
 (* ---- wiring through the stack ------------------------------------- *)
 
 (* Small Aquila microbenchmark: cache smaller than the file so faults
@@ -300,6 +345,9 @@ let () =
           Alcotest.test_case "core clamping" `Quick core_clamping;
           Alcotest.test_case "summary" `Quick summary_aggregates;
           Alcotest.test_case "csv" `Quick csv_shape;
+          Alcotest.test_case "csv empty tracer" `Quick csv_empty_tracer;
+          Alcotest.test_case "csv counter-only stream" `Quick csv_counter_only;
+          Alcotest.test_case "csv field escaping" `Quick csv_field_escaping;
         ] );
       ( "stack",
         [
