@@ -106,6 +106,30 @@ let fault_spec_of plan crash_at =
       | Some at -> Some { spec with Fault.Plan.crash_at = Some at })
     base
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Partition every engine's event queue into $(docv) shards \
+              (static routing by fiber core, drained in global (time, seq) \
+              order — the deterministic merge, DESIGN.md section 9).  \
+              Output is byte-identical at any shard count.  Contrast with \
+              $(b,--jobs), which fans out across independent experiments; \
+              $(b,--shards) restructures the event queue inside each one.")
+
+let deterministic_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "deterministic" ]
+        ~doc:"Assert the deterministic shard-merge mode.  This is already \
+              the only mode for experiment workloads — engines merge \
+              shards in global (time, seq) order; the free-running \
+              conservative windows exist only for Sim.Shard cluster \
+              workloads — so the flag simply makes the contract explicit \
+              in scripts and the CI parity gates.")
+
 let run_cmd =
   let doc = "Run one experiment (or 'all')." in
   let id =
@@ -114,13 +138,16 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see 'list'), or 'all'.")
   in
-  let run id trace_out jobs plan crash_at policy metrics_out =
+  let run id trace_out jobs shards _deterministic plan crash_at policy
+      metrics_out =
     match (resolve id, fault_spec_of plan crash_at) with
     | Error msg, _ -> `Error (false, msg)
     | _, Error msg -> `Error (true, "--fault-plan: " ^ msg)
     | Ok _, _ when jobs < 1 -> `Error (true, "--jobs must be >= 1")
+    | Ok _, _ when shards < 1 -> `Error (true, "--shards must be >= 1")
     | Ok entries, Ok fault ->
         Experiments.Scenario.set_policy policy;
+        Sim.Engine.set_default_shards shards;
         (* The ambient tracer is domain-local: worker domains would record
            nothing, so tracing forces a sequential run. *)
         let jobs =
@@ -138,8 +165,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
-        (const run $ id $ trace_out_arg $ jobs_arg $ fault_plan_arg
-       $ crash_at_arg $ policy_arg $ metrics_out_arg))
+        (const run $ id $ trace_out_arg $ jobs_arg $ shards_arg
+       $ deterministic_arg $ fault_plan_arg $ crash_at_arg $ policy_arg
+       $ metrics_out_arg))
 
 let trace_cmd =
   let doc = "Run an experiment under the tracer and export the trace." in
@@ -256,13 +284,16 @@ let faultcheck_cmd =
                 msync disabled): the sweep is expected to report \
                 violations, proving the checker has teeth.")
   in
-  let run seeds points mode broken plan crash_at policy metrics_out =
+  let run seeds points mode broken shards _deterministic plan crash_at policy
+      metrics_out =
     if seeds < 1 || points < 1 then
       `Error (true, "--seeds and --points must be >= 1")
+    else if shards < 1 then `Error (true, "--shards must be >= 1")
     else
       match fault_spec_of plan crash_at with
       | Error msg -> `Error (true, "--fault-plan: " ^ msg)
       | Ok fault ->
+          Sim.Engine.set_default_shards shards;
           let spec = Option.value fault ~default:Fault.Plan.default in
           let seeds = List.init seeds (fun i -> i + 1) in
           let reports =
@@ -300,8 +331,9 @@ let faultcheck_cmd =
     (Cmd.info "faultcheck" ~doc ~man)
     Term.(
       ret
-        (const run $ seeds $ points $ mode $ broken $ fault_plan_arg
-       $ crash_at_arg $ policy_arg $ metrics_out_arg))
+        (const run $ seeds $ points $ mode $ broken $ shards_arg
+       $ deterministic_arg $ fault_plan_arg $ crash_at_arg $ policy_arg
+       $ metrics_out_arg))
 
 let report_cmd =
   let doc = "Run an experiment and print its metrics breakdown." in
@@ -365,16 +397,18 @@ let report_cmd =
       & info [ "timeseries-period" ] ~docv:"CYCLES"
           ~doc:"Timeseries sampling period in virtual cycles.")
   in
-  let run id jobs plan crash_at policy metrics_out families profile
-      sample_period timeseries ts_period =
+  let run id jobs shards _deterministic plan crash_at policy metrics_out
+      families profile sample_period timeseries ts_period =
     match (resolve id, fault_spec_of plan crash_at) with
     | Error msg, _ -> `Error (false, msg)
     | _, Error msg -> `Error (true, "--fault-plan: " ^ msg)
     | Ok _, _ when jobs < 1 -> `Error (true, "--jobs must be >= 1")
+    | Ok _, _ when shards < 1 -> `Error (true, "--shards must be >= 1")
     | Ok _, _ when sample_period <= 0 || ts_period <= 0 ->
         `Error (true, "--sample-period and --timeseries-period must be > 0")
     | Ok entries, Ok fault ->
         Experiments.Scenario.set_policy policy;
+        Sim.Engine.set_default_shards shards;
         let profiling = profile <> None || timeseries <> None in
         (* The profiler is domain-local, like the tracer. *)
         let jobs =
@@ -416,9 +450,9 @@ let report_cmd =
     (Cmd.info "report" ~doc ~man)
     Term.(
       ret
-        (const run $ id $ jobs_arg $ fault_plan_arg $ crash_at_arg
-       $ policy_arg $ metrics_out_arg $ families $ profile $ sample_period
-       $ timeseries $ ts_period))
+        (const run $ id $ jobs_arg $ shards_arg $ deterministic_arg
+       $ fault_plan_arg $ crash_at_arg $ policy_arg $ metrics_out_arg
+       $ families $ profile $ sample_period $ timeseries $ ts_period))
 
 let () =
   let doc = "Reproduction harness for 'Memory-Mapped I/O on Steroids' (EuroSys '21)" in

@@ -62,6 +62,7 @@ let create ~name ~channels ~setup_cycles ~cycles_per_byte ~capacity_bytes () =
 let name t = t.dname
 let store t = t.dstore
 let capacity_bytes t = t.cap
+let setup_cycles t = t.setup
 
 let service_time t ~len =
   Int64.add t.setup (Int64.of_float (float_of_int len *. t.per_byte))

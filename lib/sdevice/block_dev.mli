@@ -25,6 +25,12 @@ val name : t -> string
 val store : t -> Pagestore.t
 val capacity_bytes : t -> int64
 
+val setup_cycles : t -> int64
+(** [setup_cycles t] is the per-request fixed cost passed at {!create} —
+    the floor on this device's completion latency.  Shard-per-device
+    PDES runs use it as a lookahead bound when a device is the only
+    channel between two shards (see [Hw.Costs.min_cross_shard_latency]). *)
+
 val service_time : t -> len:int -> int64
 (** [service_time t ~len] is the channel occupancy for one request,
     excluding queueing. *)

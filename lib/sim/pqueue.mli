@@ -44,5 +44,25 @@ val pop_min : 'a t -> 'a
     allocation).  Raises [Invalid_argument] on an empty queue; pair with
     {!is_empty} or {!min_time}. *)
 
+val peek_payload : 'a t -> 'a
+(** [peek_payload q] is the head's payload without removing it.  Raises
+    [Invalid_argument] on an empty queue. *)
+
+type 'a slot = { mutable s_time : int; mutable s_seq : int; mutable s_val : 'a }
+(** Caller-owned out-cell for {!pop_into}: reusing one slot across a
+    drain loop makes each pop three plain stores, with no option or
+    tuple boxed per event. *)
+
+val slot : dummy:'a -> 'a slot
+(** [slot ~dummy] is a fresh slot; [dummy] seeds [s_val] until the first
+    successful {!pop_into}. *)
+
+val pop_into : 'a t -> 'a slot -> before:int -> bool
+(** [pop_into q out ~before] pops the head into [out] and returns [true]
+    when the head's time is strictly earlier than [before]; otherwise
+    leaves the queue untouched and returns [false].  The allocation-free
+    primitive behind the engine's shard drain loop; {!pop_if_before} is
+    its boxing wrapper. *)
+
 val peek_time : 'a t -> int option
 (** [peek_time q] is the key time of the next element without removing it. *)
