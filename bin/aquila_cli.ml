@@ -123,12 +123,14 @@ let deterministic_arg =
     value
     & flag
     & info [ "deterministic" ]
-        ~doc:"Assert the deterministic shard-merge mode.  This is already \
-              the only mode for experiment workloads — engines merge \
-              shards in global (time, seq) order; the free-running \
-              conservative windows exist only for Sim.Shard cluster \
-              workloads — so the flag simply makes the contract explicit \
-              in scripts and the CI parity gates.")
+        ~doc:"Run cluster workloads (the 's'-suffixed shard-partitioned \
+              experiments) in deterministic merge mode — one domain \
+              replaying the shards in global (time, seq) order — instead \
+              of free-running across OCaml domains.  Terminal stats are \
+              byte-identical either way (the CI parity gates compare \
+              them); single-engine workloads already merge \
+              deterministically, so there the flag just asserts the \
+              contract.")
 
 let run_cmd =
   let doc = "Run one experiment (or 'all')." in
@@ -138,7 +140,7 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see 'list'), or 'all'.")
   in
-  let run id trace_out jobs shards _deterministic plan crash_at policy
+  let run id trace_out jobs shards deterministic plan crash_at policy
       metrics_out =
     match (resolve id, fault_spec_of plan crash_at) with
     | Error msg, _ -> `Error (false, msg)
@@ -148,6 +150,7 @@ let run_cmd =
     | Ok entries, Ok fault ->
         Experiments.Scenario.set_policy policy;
         Sim.Engine.set_default_shards shards;
+        Experiments.Sharded.set_mode ~shards ~deterministic;
         (* The ambient tracer is domain-local: worker domains would record
            nothing, so tracing forces a sequential run. *)
         let jobs =
@@ -397,7 +400,7 @@ let report_cmd =
       & info [ "timeseries-period" ] ~docv:"CYCLES"
           ~doc:"Timeseries sampling period in virtual cycles.")
   in
-  let run id jobs shards _deterministic plan crash_at policy metrics_out
+  let run id jobs shards deterministic plan crash_at policy metrics_out
       families profile sample_period timeseries ts_period =
     match (resolve id, fault_spec_of plan crash_at) with
     | Error msg, _ -> `Error (false, msg)
@@ -409,6 +412,7 @@ let report_cmd =
     | Ok entries, Ok fault ->
         Experiments.Scenario.set_policy policy;
         Sim.Engine.set_default_shards shards;
+        Experiments.Sharded.set_mode ~shards ~deterministic;
         let profiling = profile <> None || timeseries <> None in
         (* The profiler is domain-local, like the tracer. *)
         let jobs =

@@ -8,6 +8,10 @@ type dev = Pmem | Nvme
 
 val dev_name : dev -> string
 
+val device_pages : int
+(** Standard device size every stack is built over: 131072 pages
+    (512 MiB, the paper's 375 GB scaled — DESIGN.md §2). *)
+
 type aquila_stack = {
   a_ctx : Aquila.Context.t;
   a_store : Blobstore.Store.t;

@@ -1,0 +1,71 @@
+(** Free-running shard-partitioned experiments — the fig5/fig10 workload
+    shapes rebuilt on {!Shard_stack}, so they run across OCaml domains
+    under [--shards N] while every terminal stat stays byte-identical to
+    the [--deterministic] single-domain replay at any shard count.
+
+    One logical file partitions into a fixed number of home arenas (page
+    mod homes); requester fibers ship batched faults to the owning
+    servers; space comes from one shared blobstore partitioned
+    [~shards:homes] (allocated before the cluster starts) and per-home
+    NVMe devices with per-core submission queues.  See DESIGN.md §10 and
+    EXPERIMENTS.md for free-running vs merge-mode guidance. *)
+
+type pattern = Uniform | Zipf
+
+type params = {
+  homes : int;
+  cores : int;
+  ops_per_core : int;
+  batch : int;
+  frames_per_home : int;
+  file_pages : int;
+  write_fraction : float;
+  pattern : pattern;
+  msync_every : int;
+  crash_at : int option;
+  seed : int;
+}
+
+val fig5_params : params
+(** fig5(b) shape: 32 cores, uniform reads, file ~4x the aggregate cache
+    (evictions + device reads on most faults). *)
+
+val fig10_params : params
+(** fig10(a) shape: zipf reads over a dataset that fits — first-touch
+    faults, then cache hits. *)
+
+val crash_params : params
+(** faultcheck shape: 50% writes, msync every 8 batches, and a power
+    loss shipped to every home mid-run. *)
+
+val default_lookahead : int64
+
+val run :
+  ?deterministic:bool ->
+  ?shards:int ->
+  ?lookahead:int64 ->
+  ?p:params ->
+  unit ->
+  Sim.Shard.stats * Shard_stack.stats
+(** Build the shared store and hub, run the cluster, return terminal
+    stats.  [Shard_stack.stats] (and every [Sim.Shard.stats] field
+    except [cross_posts], [shard_events], [shard_drains], [run_wall_s])
+    is invariant across [shards] and [deterministic]. *)
+
+val set_mode : shards:int -> deterministic:bool -> unit
+(** Ambient cluster mode for the registry thunks below; the CLI sets it
+    from [--shards]/[--deterministic] before dispatching experiments. *)
+
+val mode : unit -> int * bool
+
+val print_result : title:string -> Sim.Shard.stats -> Shard_stack.stats -> unit
+(** Invariant lines first (compared byte-for-byte by CI's parity gates),
+    then a ['#']-prefixed balance line with the N-dependent counters
+    (cross_posts, per-shard events and inbox drains) that the gates
+    filter out. *)
+
+val run_fig5s : unit -> unit
+val run_fig10s : unit -> unit
+val run_crashcheck : unit -> unit
+(** Registry entry points ([fig5s]/[fig10s]/[crashs]): run under the
+    ambient {!mode} and print {!print_result}. *)

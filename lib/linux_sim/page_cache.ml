@@ -7,10 +7,17 @@ type config = {
   readahead : int;
   reclaim_batch : int;
   writeback_merge : int;
+  tree_shards : int;
 }
 
 let default_config ~frames =
-  { frames; readahead = 32; reclaim_batch = 32; writeback_merge = 64 }
+  {
+    frames;
+    readahead = 32;
+    reclaim_batch = 32;
+    writeback_merge = 64;
+    tree_shards = 1;
+  }
 
 type frame = {
   fno : int;
@@ -20,13 +27,32 @@ type frame = {
   mutable dirty : bool;
 }
 
+(* Per-file index state, split [tree_shards] ways by page (page mod
+   tree_shards): each slot owns a radix subtree, its serializing lock and
+   its dirty tags, so shard-partitioned workloads touch disjoint slots
+   and the tree_lock stops being the global serialization point —
+   which turns Fig. 5(b)'s contention from lock waiting into measurable
+   cross-shard traffic.  [tree_shards = 1] (the default, and the 4.14
+   model) is the single tree + single tree_lock the paper profiles. *)
 type file_meta = {
-  tree : frame Dstruct.Radix_tree.t; (* indexed by file page *)
-  tree_lock : Sim.Sync.Mutex.t;
-  dirty_tags : (int, unit) Hashtbl.t; (* file pages tagged dirty *)
+  trees : frame Dstruct.Radix_tree.t array;
+  tree_locks : Sim.Sync.Mutex.t array;
+  dirty_tags : (int, unit) Hashtbl.t array; (* file pages tagged dirty *)
   access : Sdevice.Access.t;
   translate : int -> int option;
 }
+
+let tslot m page =
+  let n = Array.length m.trees in
+  if n = 1 then 0
+  else begin
+    let s = page mod n in
+    if s < 0 then s + n else s
+  end
+
+let tree_of m page = m.trees.(tslot m page)
+let tlock_of m page = m.tree_locks.(tslot m page)
+let tags_of m page = m.dirty_tags.(tslot m page)
 
 type t = {
   costs : Hw.Costs.t;
@@ -107,12 +133,17 @@ let create ~costs ~machine ~page_table cfg =
   t
 
 let register_file t ~file_id ~access ~translate =
+  let n = max 1 t.cfg.tree_shards in
+  let lock_name s =
+    if n = 1 then Printf.sprintf "tree_lock[%d]" file_id
+    else Printf.sprintf "tree_lock[%d.%d]" file_id s
+  in
   Hashtbl.replace t.files file_id
     {
-      tree = Dstruct.Radix_tree.create ();
-      tree_lock =
-        Sim.Sync.Mutex.create ~name:(Printf.sprintf "tree_lock[%d]" file_id) ();
-      dirty_tags = Hashtbl.create 64;
+      trees = Array.init n (fun _ -> Dstruct.Radix_tree.create ());
+      tree_locks =
+        Array.init n (fun s -> Sim.Sync.Mutex.create ~name:(lock_name s) ());
+      dirty_tags = Array.init n (fun _ -> Hashtbl.create 64);
       access;
       translate;
     }
@@ -130,7 +161,8 @@ let delay_sys ?label c = Sim.Engine.delay ~cat:Sim.Engine.Sys ?label c
 let lookup t key =
   let m = meta_of t (Pagekey.file_of key) in
   delay_sys ~label:"index" t.costs.Hw.Costs.radix_lookup;
-  Dstruct.Radix_tree.find m.tree (Pagekey.page_of key)
+  let page = Pagekey.page_of key in
+  Dstruct.Radix_tree.find (tree_of m page) page
 
 let shootdown_vpns t ~core vpns =
   match vpns with
@@ -217,12 +249,13 @@ let retag_dirty t failed =
   List.iter
     (fun (key, (fr : frame)) ->
       let m = meta_of t (Pagekey.file_of key) in
-      Sim.Sync.Mutex.lock m.tree_lock;
+      let page = Pagekey.page_of key in
+      Sim.Sync.Mutex.lock (tlock_of m page);
       if not fr.dirty then begin
         fr.dirty <- true;
-        Hashtbl.replace m.dirty_tags (Pagekey.page_of key) ()
+        Hashtbl.replace (tags_of m page) page ()
       end;
-      Sim.Sync.Mutex.unlock m.tree_lock)
+      Sim.Sync.Mutex.unlock (tlock_of m page))
     failed
 
 (* Direct reclaim by the faulting thread: scan the global LRU under
@@ -246,17 +279,18 @@ let reclaim t ~core =
       else begin
         let key = fr.key in
         let m = meta_of t (Pagekey.file_of key) in
-        Sim.Sync.Mutex.lock m.tree_lock;
+        let page = Pagekey.page_of key in
+        Sim.Sync.Mutex.lock (tlock_of m page);
         (* re-check under the lock *)
         if fr.key = key && not (Dstruct.Clock_lru.is_referenced t.lru fno) then begin
-          ignore (Dstruct.Radix_tree.remove m.tree (Pagekey.page_of key));
+          ignore (Dstruct.Radix_tree.remove (tree_of m page) page);
           delay_sys ~label:"index" c.radix_update;
           (* object-based reverse-mapping walk to find the PTEs — the CPU
              cost FastMap [50] replaces with full reverse mappings *)
           delay_sys ~label:"evict" 900L;
           let was_dirty = fr.dirty in
           if was_dirty then begin
-            Hashtbl.remove m.dirty_tags (Pagekey.page_of key);
+            Hashtbl.remove (tags_of m page) page;
             fr.dirty <- false
           end;
           let iv =
@@ -267,11 +301,11 @@ let reclaim t ~core =
             end
             else None
           in
-          Sim.Sync.Mutex.unlock m.tree_lock;
+          Sim.Sync.Mutex.unlock (tlock_of m page);
           torn := (key, fr, iv) :: !torn
         end
         else begin
-          Sim.Sync.Mutex.unlock m.tree_lock;
+          Sim.Sync.Mutex.unlock (tlock_of m page);
           Dstruct.Clock_lru.set_active t.lru fno true
         end
       end)
@@ -356,7 +390,7 @@ let fill t ~core ~key =
     match m.translate p with
     | Some d
       when d = dev + !n
-           && (not (Dstruct.Radix_tree.mem m.tree p))
+           && (not (Dstruct.Radix_tree.mem (tree_of m p) p))
            && not (Hashtbl.mem t.inflight k) ->
         let fr = alloc_frame t ~core 0 in
         let iv = Sim.Sync.Ivar.create () in
@@ -399,12 +433,13 @@ let fill t ~core ~key =
       fr.key <- k;
       fr.dirty <- false;
       fr.vpn <- -1;
-      Sim.Sync.Mutex.lock m.tree_lock;
-      ignore (Dstruct.Radix_tree.insert m.tree (Pagekey.page_of k) fr);
+      let kp = Pagekey.page_of k in
+      Sim.Sync.Mutex.lock (tlock_of m kp);
+      ignore (Dstruct.Radix_tree.insert (tree_of m kp) kp fr);
       (* radix insert plus memcg charge + node accounting, all under the
          lock, as in 4.14's add_to_page_cache_lru *)
       delay_sys ~label:"index" (Int64.add c.radix_update 600L);
-      Sim.Sync.Mutex.unlock m.tree_lock;
+      Sim.Sync.Mutex.unlock (tlock_of m kp);
       Sim.Sync.Mutex.lock t.lru_lock;
       Dstruct.Clock_lru.set_active t.lru fr.fno true;
       Dstruct.Clock_lru.touch t.lru fr.fno;
@@ -421,16 +456,20 @@ let fill t ~core ~key =
   match window with (_, _, fr) :: _ -> fr | [] -> assert false
 
 let total_dirty t =
-  Hashtbl.fold (fun _ m acc -> acc + Hashtbl.length m.dirty_tags) t.files 0
+  Hashtbl.fold
+    (fun _ m acc ->
+      Array.fold_left (fun a tags -> a + Hashtbl.length tags) acc m.dirty_tags)
+    t.files 0
 
 let set_dirty t key (fr : frame) =
   let m = meta_of t (Pagekey.file_of key) in
   if not fr.dirty then begin
-    Sim.Sync.Mutex.lock m.tree_lock;
+    let page = Pagekey.page_of key in
+    Sim.Sync.Mutex.lock (tlock_of m page);
     fr.dirty <- true;
-    Hashtbl.replace m.dirty_tags (Pagekey.page_of key) ();
+    Hashtbl.replace (tags_of m page) page ();
     delay_sys ~label:"dirty" t.costs.Hw.Costs.radix_update;
-    Sim.Sync.Mutex.unlock m.tree_lock;
+    Sim.Sync.Mutex.unlock (tlock_of m page);
     if Trace.on () then
       Sim.Probe.counter ~cat:"linux" "dirty_pages"
         (Int64.of_int (total_dirty t));
@@ -498,7 +537,8 @@ let buffered_read t ~core ~key =
 
 let set_dirty_key t ~key =
   let m = meta_of t (Pagekey.file_of key) in
-  match Dstruct.Radix_tree.find m.tree (Pagekey.page_of key) with
+  let page = Pagekey.page_of key in
+  match Dstruct.Radix_tree.find (tree_of m page) page with
   | Some fr -> set_dirty t key fr
   | None -> ()
 
@@ -506,26 +546,37 @@ let pfn_data t pfn = t.arr.(pfn).data
 
 let is_resident t ~key =
   let m = meta_of t (Pagekey.file_of key) in
-  Dstruct.Radix_tree.mem m.tree (Pagekey.page_of key)
+  let page = Pagekey.page_of key in
+  Dstruct.Radix_tree.mem (tree_of m page) page
 
 let msync_file t ~core ~file_id =
   let c = t.costs in
   let m = meta_of t file_id in
-  Sim.Sync.Mutex.lock m.tree_lock;
-  let pages = Hashtbl.fold (fun p () acc -> p :: acc) m.dirty_tags [] in
+  (* One lock acquisition per slot per msync (ascending slot order) keeps
+     [tree_shards = 1] byte-identical to the single-tree model. *)
   let pairs =
-    List.filter_map
-      (fun p ->
-        match Dstruct.Radix_tree.find m.tree p with
-        | Some fr when fr.dirty ->
-            fr.dirty <- false;
-            Hashtbl.remove m.dirty_tags p;
-            delay_sys ~label:"dirty" c.radix_update;
-            Some (Pagekey.make ~file:file_id ~page:p, fr)
-        | _ -> None)
-      (List.sort compare pages)
+    List.concat
+      (List.init (Array.length m.trees) (fun s ->
+           let lock = m.tree_locks.(s)
+           and tree = m.trees.(s)
+           and tags = m.dirty_tags.(s) in
+           Sim.Sync.Mutex.lock lock;
+           let pages = Hashtbl.fold (fun p () acc -> p :: acc) tags [] in
+           let pairs =
+             List.filter_map
+               (fun p ->
+                 match Dstruct.Radix_tree.find tree p with
+                 | Some fr when fr.dirty ->
+                     fr.dirty <- false;
+                     Hashtbl.remove tags p;
+                     delay_sys ~label:"dirty" c.radix_update;
+                     Some (Pagekey.make ~file:file_id ~page:p, fr)
+                 | _ -> None)
+               (List.sort compare pages)
+           in
+           Sim.Sync.Mutex.unlock lock;
+           pairs))
   in
-  Sim.Sync.Mutex.unlock m.tree_lock;
   (* write-protect so future writes re-tag *)
   let vpns =
     List.filter_map
@@ -546,14 +597,22 @@ let drop_file t ~core ~file_id =
   let c = t.costs in
   msync_file t ~core ~file_id;
   let m = meta_of t file_id in
-  Sim.Sync.Mutex.lock m.tree_lock;
-  let entries = Dstruct.Radix_tree.fold (fun p fr acc -> (p, fr) :: acc) m.tree [] in
-  List.iter
-    (fun (p, _) ->
-      ignore (Dstruct.Radix_tree.remove m.tree p);
-      delay_sys ~label:"index" c.radix_update)
-    entries;
-  Sim.Sync.Mutex.unlock m.tree_lock;
+  let entries =
+    List.concat
+      (List.init (Array.length m.trees) (fun s ->
+           let lock = m.tree_locks.(s) and tree = m.trees.(s) in
+           Sim.Sync.Mutex.lock lock;
+           let entries =
+             Dstruct.Radix_tree.fold (fun p fr acc -> (p, fr) :: acc) tree []
+           in
+           List.iter
+             (fun (p, _) ->
+               ignore (Dstruct.Radix_tree.remove tree p);
+               delay_sys ~label:"index" c.radix_update)
+             entries;
+           Sim.Sync.Mutex.unlock lock;
+           entries))
+  in
   let vpns =
     List.filter_map
       (fun (_, (fr : frame)) ->
@@ -586,23 +645,27 @@ let flush_some t ~core ~batch =
   let taken = ref [] in
   Hashtbl.iter
     (fun file_id m ->
-      if List.length !taken < batch then begin
-        Sim.Sync.Mutex.lock m.tree_lock;
-        let pages = Hashtbl.fold (fun p () acc -> p :: acc) m.dirty_tags [] in
-        let pages = List.sort compare pages in
-        List.iteri
-          (fun i p ->
-            if i < batch - List.length !taken then
-              match Dstruct.Radix_tree.find m.tree p with
-              | Some fr when fr.dirty ->
-                  fr.dirty <- false;
-                  Hashtbl.remove m.dirty_tags p;
-                  delay_sys ~label:"dirty" t.costs.Hw.Costs.radix_update;
-                  taken := (Pagekey.make ~file:file_id ~page:p, fr) :: !taken
-              | _ -> Hashtbl.remove m.dirty_tags p)
-          pages;
-        Sim.Sync.Mutex.unlock m.tree_lock
-      end)
+      Array.iteri
+        (fun s tags ->
+          if List.length !taken < batch then begin
+            let lock = m.tree_locks.(s) and tree = m.trees.(s) in
+            Sim.Sync.Mutex.lock lock;
+            let pages = Hashtbl.fold (fun p () acc -> p :: acc) tags [] in
+            let pages = List.sort compare pages in
+            List.iteri
+              (fun i p ->
+                if i < batch - List.length !taken then
+                  match Dstruct.Radix_tree.find tree p with
+                  | Some fr when fr.dirty ->
+                      fr.dirty <- false;
+                      Hashtbl.remove tags p;
+                      delay_sys ~label:"dirty" t.costs.Hw.Costs.radix_update;
+                      taken := (Pagekey.make ~file:file_id ~page:p, fr) :: !taken
+                  | _ -> Hashtbl.remove tags p)
+              pages;
+            Sim.Sync.Mutex.unlock lock
+          end)
+        m.dirty_tags)
     t.files;
   let pairs = !taken in
   (* write-protect so later stores re-dirty *)
@@ -657,10 +720,12 @@ let sigbus_count t = t.s_sigbus
 
 let tree_lock_contended t =
   Hashtbl.fold
-    (fun _ m acc -> Int64.add acc (Sim.Sync.Mutex.contended_cycles m.tree_lock))
+    (fun _ m acc ->
+      Array.fold_left
+        (fun a l -> Int64.add a (Sim.Sync.Mutex.contended_cycles l))
+        acc m.tree_locks)
     t.files 0L
 
 let lru_lock_contended t = Sim.Sync.Mutex.contended_cycles t.lru_lock
 
-let dirty_pages t =
-  Hashtbl.fold (fun _ m acc -> acc + Hashtbl.length m.dirty_tags) t.files 0
+let dirty_pages t = total_dirty t

@@ -1,0 +1,102 @@
+(* Shard-owned partitioning of the DRAM cache.
+
+   A partition splits one logical cache into [homes] independent arenas
+   — each a complete Dram_cache with its own frames, freelist, dirty set
+   and policy instance — and routes every page to its home arena by a
+   static ownership map (page mod homes).  Because the map is a pure
+   function of the page, a request stream split across arenas is
+   recombined exactly by summing per-arena counters in ascending home
+   order: the aggregate is a deterministic function of the per-arena
+   schedules, independent of which physical shard (or domain) executes
+   each arena.
+
+   This module owns routing and aggregation only.  Transport between
+   shards — the cross-shard page-ownership protocol, charged at
+   [Hw.Costs.min_cross_shard_latency] per hop — lives in
+   [Experiments.Shard_stack]; a partition never locks, because each
+   arena is touched exclusively by its owning shard's server fiber. *)
+
+type t = { arenas : Dram_cache.t array }
+
+let create ~arenas () =
+  if Array.length arenas = 0 then invalid_arg "Partition.create: no arenas";
+  { arenas }
+
+let homes t = Array.length t.arenas
+
+let home_of t ~page =
+  let n = Array.length t.arenas in
+  if n = 1 then 0
+  else begin
+    let h = page mod n in
+    if h < 0 then h + n else h
+  end
+
+let arena t h =
+  if h < 0 || h >= Array.length t.arenas then
+    invalid_arg (Printf.sprintf "Partition.arena: home %d outside [0, %d)" h (Array.length t.arenas));
+  t.arenas.(h)
+
+let arena_for t ~page = t.arenas.(home_of t ~page)
+
+let fault t ?readahead ~core ~key ~vpn ~write () =
+  Dram_cache.fault
+    (arena_for t ~page:(Pagekey.page_of key))
+    ?readahead ~core ~key ~vpn ~write ()
+
+let msync t ~core ?file () =
+  Array.iter (fun a -> Dram_cache.msync a ~core ?file ()) t.arenas
+
+let crash t = Array.iter Dram_cache.crash t.arenas
+
+type counters = {
+  fault_hits : int;
+  misses : int;
+  evictions : int;
+  writeback_ios : int;
+  writeback_pages : int;
+  read_ios : int;
+  read_pages : int;
+  inflight_waits : int;
+  wb_errors : int;
+  sigbus : int;
+}
+
+(* Ascending home order: the sum is the same whatever order arenas ran
+   in, but a fixed fold order keeps even overflow/wraparound corners
+   bit-identical across shard counts. *)
+let counters t =
+  Array.fold_left
+    (fun c a ->
+      {
+        fault_hits = c.fault_hits + Dram_cache.fault_hits a;
+        misses = c.misses + Dram_cache.misses a;
+        evictions = c.evictions + Dram_cache.evictions a;
+        writeback_ios = c.writeback_ios + Dram_cache.writeback_ios a;
+        writeback_pages = c.writeback_pages + Dram_cache.writeback_pages a;
+        read_ios = c.read_ios + Dram_cache.read_ios a;
+        read_pages = c.read_pages + Dram_cache.read_pages a;
+        inflight_waits = c.inflight_waits + Dram_cache.inflight_waits a;
+        wb_errors = c.wb_errors + Dram_cache.wb_errors a;
+        sigbus = c.sigbus + Dram_cache.sigbus_count a;
+      })
+    {
+      fault_hits = 0;
+      misses = 0;
+      evictions = 0;
+      writeback_ios = 0;
+      writeback_pages = 0;
+      read_ios = 0;
+      read_pages = 0;
+      inflight_waits = 0;
+      wb_errors = 0;
+      sigbus = 0;
+    }
+    t.arenas
+
+let counters_to_string c =
+  Printf.sprintf
+    "hits=%d misses=%d evictions=%d wb_ios=%d wb_pages=%d read_ios=%d \
+     read_pages=%d inflight=%d wb_errors=%d sigbus=%d"
+    c.fault_hits c.misses c.evictions c.writeback_ios c.writeback_pages
+    c.read_ios c.read_pages c.inflight_waits c.wb_errors c.sigbus

@@ -1,0 +1,62 @@
+(** Shard-owned partitioning of {!Dram_cache}.
+
+    A partition splits one logical cache into [homes] independent arenas
+    and routes each page to its home by a static ownership map
+    ([page mod homes]).  Each arena is a complete {!Dram_cache} — its
+    frames, freelist, dirty set and replacement-policy instance belong
+    to the shard whose cores fault on its pages — so arenas never share
+    mutable state and need no locks: one server fiber per home performs
+    every access (see [Experiments.Shard_stack] for the cross-shard
+    transport, charged at [Hw.Costs.min_cross_shard_latency]).
+
+    The aggregate {!counters} are a deterministic pure function of the
+    per-arena request streams: identical at any physical shard count and
+    in free-running vs deterministic cluster mode, which is exactly the
+    property the QCheck suite and the CI terminal-stats gate hold the
+    partitioned experiments to.  DESIGN.md §10. *)
+
+type t
+
+val create : arenas:Dram_cache.t array -> unit -> t
+(** [create ~arenas ()] wraps per-home caches; home [h] owns pages
+    [p] with [p mod homes = h].  Raises [Invalid_argument] on an empty
+    array.  The caller builds each arena on its owning shard so metric
+    cells land on the executing domain. *)
+
+val homes : t -> int
+val home_of : t -> page:int -> int
+val arena : t -> int -> Dram_cache.t
+val arena_for : t -> page:int -> Dram_cache.t
+
+val fault :
+  t -> ?readahead:int -> core:int -> key:Pagekey.t -> vpn:int -> write:bool -> unit -> unit
+(** Route a fault to the owning arena ({!Dram_cache.fault}).  Must run
+    inside a fiber on the arena's owning shard. *)
+
+val msync : t -> core:int -> ?file:int -> unit -> unit
+(** Write back every arena's dirty pages, in ascending home order. *)
+
+val crash : t -> unit
+(** Power-loss injection across all arenas ({!Dram_cache.crash}). *)
+
+(** {1 Aggregated statistics} *)
+
+type counters = {
+  fault_hits : int;
+  misses : int;
+  evictions : int;
+  writeback_ios : int;
+  writeback_pages : int;
+  read_ios : int;
+  read_pages : int;
+  inflight_waits : int;
+  wb_errors : int;
+  sigbus : int;
+}
+
+val counters : t -> counters
+(** Sum over arenas in ascending home order — deterministic at any
+    shard count. *)
+
+val counters_to_string : counters -> string
+(** One-line rendering used by terminal-stats parity gates. *)

@@ -13,6 +13,7 @@
 type t
 
 val create :
+  ?queues:int ->
   name:string ->
   channels:int ->
   setup_cycles:int64 ->
@@ -20,6 +21,12 @@ val create :
   capacity_bytes:int64 ->
   unit ->
   t
+(** [queues] (default 1) is the number of submission queues; a request
+    submits on SQ [core mod queues] (per-core SQs as in NVMe), so
+    submission never serializes across cores — only channel occupancy
+    does.  Purely an accounting split ({!queue_submissions}): the
+    channel queueing model is unchanged, so timing is identical at any
+    queue count. *)
 
 val name : t -> string
 val store : t -> Pagestore.t
@@ -78,3 +85,11 @@ val latency_spikes : t -> int
 
 val queued_cycles : t -> int64
 (** Total cycles requests spent queueing behind busy channels. *)
+
+val queues : t -> int
+
+val queue_submissions : t -> int array
+(** Per-submission-queue request counts ([queues] entries; sums to
+    {!reads} + {!writes} + failed I/Os).  The load-balance picture for
+    shard-partitioned drivers: balanced SQs mean the device sees the
+    paper's per-core submission pattern rather than one hot queue. *)

@@ -60,9 +60,13 @@ type ctx = {
   mutable sys : int;
   mutable idle : int;
   mutable ev : int; (* events executed by this fiber *)
+  mutable waiting_on : int; (* shard id the fiber waits on, -1 = none *)
   mutable lab : int array; (* cycles per interned label id (internal) *)
   it : interns; (* owning engine's intern table (internal) *)
 }
+
+let set_waiting_on ctx sid = ctx.waiting_on <- sid
+let waiting_on ctx = ctx.waiting_on
 
 let ctx_bump ctx id c =
   let n = Array.length ctx.lab in
@@ -273,10 +277,15 @@ let blocked_report t =
     (fun ctx ->
       Buffer.add_string b
         (Printf.sprintf
-           "  fiber %d %S core %d shard %d%s: events=%d user=%d sys=%d idle=%d \
-            cycles\n"
+           "  fiber %d %S core %d shard %d%s%s: events=%d user=%d sys=%d \
+            idle=%d cycles\n"
            ctx.fid ctx.name ctx.core
            (shard_of t ctx.core)
+           (if ctx.waiting_on >= 0 then
+              (* the cross-shard half of a deadlock: name the peer whose
+                 reply never came, not just where this fiber lives *)
+              Printf.sprintf " waiting-on shard %d" ctx.waiting_on
+            else "")
            (if ctx.daemon then " [daemon]" else "")
            ctx.ev ctx.user ctx.sys ctx.idle);
       List.iter
@@ -416,6 +425,7 @@ let run_fiber t ctx f =
                         (Printf.sprintf "fiber %s: resumed twice" ctx.name);
                     resumed := true;
                     Hashtbl.remove t.blocked ctx.fid;
+                    ctx.waiting_on <- -1;
                     schedule t ~shard:(shard_of t ctx.core) ~at:t.now (fun () ->
                         ctx.ev <- ctx.ev + 1;
                         ctx.idle <- ctx.idle + (t.now - t0);
@@ -448,6 +458,7 @@ let spawn t ?(name = "fiber") ?(core = 0) ?(daemon = false) f =
       sys = 0;
       idle = 0;
       ev = 0;
+      waiting_on = -1;
       lab = [||];
       it = t.it;
     }

@@ -36,6 +36,12 @@ type ctx = {
   mutable ev : int;
       (** events this fiber executed (spawn, delays, resumes) — shown by
           {!blocked_report} so a hung fiber's progress is visible *)
+  mutable waiting_on : int;
+      (** shard id of the {!Shard} cluster peer this fiber is blocked
+          waiting on ([-1] when not waiting cross-shard) — set via
+          {!set_waiting_on} before a cross-shard {!suspend}, cleared
+          automatically when the fiber resumes, printed by
+          {!blocked_report} so cross-shard deadlocks name the peer *)
   mutable lab : int array;
       (** cycles per interned label id — internal, read via {!labels} *)
   it : interns;  (** owning engine's intern table — internal *)
@@ -49,6 +55,15 @@ val labels : ctx -> (string * int64) list
 val label_get : ctx -> string -> int64
 (** [label_get ctx label] is the cycles charged to [label] (0 if never
     charged). *)
+
+val set_waiting_on : ctx -> int -> unit
+(** [set_waiting_on ctx sid] records that the fiber is about to block
+    waiting for a message from cluster shard [sid] (a cross-shard inbox
+    reply).  Cleared automatically when the fiber's {!suspend} resumes;
+    callers that block repeatedly re-arm it before each wait. *)
+
+val waiting_on : ctx -> int
+(** [waiting_on ctx] is the shard id set by {!set_waiting_on}, or [-1]. *)
 
 type t
 (** A simulation engine instance. *)

@@ -72,6 +72,7 @@ and cluster = {
   handles : t option array;
   next : int array; (* published next-event time per shard, max_int = drained *)
   posts : int Atomic.t;
+  drains : int array; (* inbox items delivered, per shard (owner-written) *)
   mutable windows : int; (* written by shard 0 / the det loop only *)
   fails : (exn * Printexc.raw_backtrace) option array;
 }
@@ -84,6 +85,8 @@ type stats = {
   cross_posts : int;
   windows : int;
   run_wall_s : float;
+  shard_events : int array;
+  shard_drains : int array;
 }
 
 let sid sh = sh.sid
@@ -130,6 +133,7 @@ let drain cl sh =
   match items with
   | [] -> ()
   | items ->
+      cl.drains.(sh.sid) <- cl.drains.(sh.sid) + List.length items;
       let items =
         List.sort
           (fun a b ->
@@ -234,13 +238,16 @@ let make_shard cl ~seed sid build =
 
 let collect_stats cl ~run_wall_s =
   let events = ref 0 and final = ref 0L in
-  Array.iter
-    (function
-      | Some eng ->
-          events := !events + Engine.events eng;
-          if Engine.now eng > !final then final := Engine.now eng
-      | None -> ())
-    cl.engines;
+  let shard_events =
+    Array.map
+      (function
+        | Some eng ->
+            events := !events + Engine.events eng;
+            if Engine.now eng > !final then final := Engine.now eng;
+            Engine.events eng
+        | None -> 0)
+      cl.engines
+  in
   {
     shards = cl.n;
     lookahead = cl.la;
@@ -249,6 +256,8 @@ let collect_stats cl ~run_wall_s =
     cross_posts = Atomic.get cl.posts;
     windows = cl.windows;
     run_wall_s;
+    shard_events;
+    shard_drains = Array.copy cl.drains;
   }
 
 let run ?(deterministic = false) ?(seed = 42) ~shards:n ~lookahead build =
@@ -264,6 +273,7 @@ let run ?(deterministic = false) ?(seed = 42) ~shards:n ~lookahead build =
       handles = Array.make n None;
       next = Array.make n max_int;
       posts = Atomic.make 0;
+      drains = Array.make n 0;
       windows = 0;
       fails = Array.make n None;
     }

@@ -45,6 +45,12 @@ type stats = {
           the post-build barrier and the final barrier, excluding
           [Domain.spawn], builder time, and join/teardown, so events/sec
           derived from it measures the engine *)
+  shard_events : int array;
+      (** engine events executed per shard — the load-balance picture;
+          sums to [events] *)
+  shard_drains : int array;
+      (** cross-shard inbox items delivered to each shard; sums to
+          [cross_posts] once the cluster drains *)
 }
 (** Terminal cluster statistics.  Every field except [run_wall_s] is a
     deterministic pure function of the build at any shard count. *)
