@@ -1,0 +1,152 @@
+(* Cluster failover smoke bench.
+
+   One fixed crash+failover scenario: a 3-node / 2-replica aqcluster
+   serves a deterministic client loop while an aqfault plan downs node 1
+   at a fixed engine event ordinal; the node recovers and resyncs, a
+   final anti-entropy pass runs, and the no-lost-acks + convergence
+   oracles must hold.  The scenario runs twice and the runs must agree
+   byte-for-byte (events, final cycles, device digest) — the bench
+   doubles as the cluster determinism smoke.
+
+   Results land in BENCH_cluster.json for bench/perf_gate's trajectory
+   gate: acked_ops is gated higher-is-better; failovers, resync_pages,
+   rpc_retries, events and final_cycles lower-is-better (wall is
+   recorded but never gated). *)
+
+let ops = 300
+let keyspace = 24
+let crash_ordinal = 6_000
+let crash_target = 1
+
+let cfg =
+  {
+    Aqcluster.Cluster.default_config with
+    Aqcluster.Cluster.nodes = 3;
+    replicas = 2;
+    node = { Aqcluster.Node.cache_frames = 32; wal_pages = 1024 };
+    recovery_delay = 2_000_000;
+  }
+
+type run = {
+  acked : int;
+  failovers : int;
+  resync_pages : int;
+  retries : int;
+  events : int;
+  final_cycles : int64;
+  digest : string;
+  violations : string list;
+}
+
+let run_once () =
+  let eng = Sim.Engine.create () in
+  let cl = Aqcluster.Cluster.create ~cfg ~eng () in
+  let plan =
+    Fault.Plan.make
+      {
+        Fault.Plan.default with
+        Fault.Plan.crash_at = Some crash_ordinal;
+        node = Some crash_target;
+      }
+  in
+  let acked_tbl : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let violations = ref [] in
+  Fault.with_plan plan (fun () ->
+      Aqcluster.Cluster.boot cl;
+      Aqcluster.Cluster.arm_fault cl plan;
+      let kv = Aqcluster.Cluster.kv cl in
+      ignore
+        (Sim.Engine.spawn eng ~name:"client" ~core:cfg.Aqcluster.Cluster.nodes
+           (fun () ->
+             for i = 0 to ops - 1 do
+               let key = Printf.sprintf "key%03d" (i mod keyspace) in
+               let v = Printf.sprintf "v%05d" i in
+               match kv.Ycsb.Runner.kv_update key v with
+               | () -> Hashtbl.replace acked_tbl key v
+               | exception Aqcluster.Rpc.Unreachable _ -> ()
+             done));
+      Sim.Engine.run eng;
+      ignore
+        (Sim.Engine.spawn eng ~name:"final-resync"
+           ~core:cfg.Aqcluster.Cluster.nodes (fun () ->
+             ignore (Aqcluster.Cluster.resync cl)));
+      Sim.Engine.run eng;
+      (* no-lost-acks oracle over the drained, resynced cluster *)
+      ignore
+        (Sim.Engine.spawn eng ~name:"oracle" ~core:cfg.Aqcluster.Cluster.nodes
+           (fun () ->
+             Hashtbl.iter
+               (fun key v ->
+                 match kv.Ycsb.Runner.kv_read key with
+                 | Some v' when String.equal v v' -> ()
+                 | got ->
+                     violations :=
+                       Printf.sprintf "key %s: acked %S, read %s" key v
+                         (match got with
+                         | None -> "nothing"
+                         | Some g -> Printf.sprintf "%S" g)
+                       :: !violations)
+               acked_tbl));
+      Sim.Engine.run eng);
+  List.iter
+    (fun v -> violations := ("convergence: " ^ v) :: !violations)
+    (Aqcluster.Cluster.convergence_violations cl);
+  let st = Aqcluster.Cluster.stats cl in
+  {
+    acked = st.Aqcluster.Cluster.acked_writes;
+    failovers = st.Aqcluster.Cluster.failovers;
+    resync_pages = st.Aqcluster.Cluster.resync_pages;
+    retries = Aqcluster.Cluster.rpc_retries cl;
+    events = Sim.Engine.events eng;
+    final_cycles = Sim.Engine.now eng;
+    digest = (Aqcluster.Cluster.device_digest cl :> string);
+    violations = List.rev !violations;
+  }
+
+let () =
+  let t0 = Sys.time () in
+  let a = run_once () in
+  let wall = Sys.time () -. t0 in
+  let b = run_once () in
+  if a.violations <> [] then begin
+    List.iter (Printf.printf "FAIL: %s\n") a.violations;
+    exit 1
+  end;
+  if a.failovers <> 1 then begin
+    Printf.printf
+      "FAIL: expected exactly one failover, got %d (crash ordinal %d outside \
+       the run?)\n"
+      a.failovers crash_ordinal;
+    exit 1
+  end;
+  if
+    a.events <> b.events
+    || a.final_cycles <> b.final_cycles
+    || not (String.equal a.digest b.digest)
+  then begin
+    Printf.printf
+      "FAIL: nondeterministic: events %d/%d, cycles %Ld/%Ld, device bytes %s\n"
+      a.events b.events a.final_cycles b.final_cycles
+      (if String.equal a.digest b.digest then "equal" else "differ");
+    exit 1
+  end;
+  let oc = open_out "BENCH_cluster.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"cluster\": {\n\
+    \    \"acked_ops\": %d,\n\
+    \    \"failovers\": %d,\n\
+    \    \"resync_pages\": %d,\n\
+    \    \"rpc_retries\": %d,\n\
+    \    \"events\": %d,\n\
+    \    \"final_cycles\": %Ld,\n\
+    \    \"wall\": %.6f\n\
+    \  }\n\
+     }\n"
+    a.acked a.failovers a.resync_pages a.retries a.events a.final_cycles wall;
+  close_out oc;
+  Printf.printf
+    "cluster smoke: %d acked ops, %d failover, %d resync pages, %d retries, \
+     %d events, %Ld cycles — deterministic, oracle clean\n"
+    a.acked a.failovers a.resync_pages a.retries a.events a.final_cycles;
+  Printf.printf "wrote BENCH_cluster.json\n"

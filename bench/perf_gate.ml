@@ -182,6 +182,11 @@ let dir_of key =
     | "aquila_page_faults" | "engine_events" | "sdevice_reads"
     | "sdevice_writes" | "fault_injected" | "linux_cache_misses" ->
         Some Lower
+    (* aqcluster failover smoke (BENCH_cluster.json): the scenario is a
+       fixed schedule, so fewer acked ops — or more failovers, resync
+       pages or retries — means replication or recovery got worse. *)
+    | "acked_ops" -> Some Higher
+    | "failovers" | "resync_pages" | "rpc_retries" -> Some Lower
     | _ -> None
 
 type verdict = { failures : (string * float * float) list; checked : int }

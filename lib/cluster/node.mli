@@ -1,0 +1,71 @@
+(** One simulated Aquila node: NVMe device + DRAM cache + a page-granular
+    WAL through the mmap path, with a volatile memtable rebuilt from the
+    WAL on every (re)open.  See DESIGN.md §11. *)
+
+type record = {
+  op : int;  (** client-assigned, globally monotonic write ordinal *)
+  value : string option;  (** [None] is a tombstone *)
+}
+
+type config = {
+  cache_frames : int;  (** per-node DRAM cache frames *)
+  wal_pages : int;  (** WAL (= device file) capacity in pages *)
+}
+
+val default_config : config
+
+type t
+
+exception Wal_full of int
+
+val create : ?nvme:Sdevice.Block_dev.t -> id:int -> config -> t
+(** Allocates the device (or adopts [nvme] — restart verification
+    rebuilds nodes over surviving devices) and the cold stack.  Call
+    {!open_stack} from a fiber before serving. *)
+
+val id : t -> int
+val is_up : t -> bool
+
+val tainted : t -> bool
+(** A node is tainted between a post-crash {!reopen} and the completion
+    of its resync: its WAL tail may diverge from the promoted primary's
+    history, so it never supplies the authoritative record and accepts
+    unconditional overwrites (divergent-tail truncation). *)
+
+val set_tainted : t -> bool -> unit
+val device : t -> Sdevice.Block_dev.t
+val wal_len : t -> int
+val ensure_up : t -> unit
+(** Raises {!Rpc.Drop} when the node is down. *)
+
+(** {1 Lifecycle} *)
+
+val open_stack : t -> unit
+(** Fiber-only: enter the Aquila context, map the WAL and replay it into
+    the memtable (last record per key wins); marks the node up. *)
+
+val reopen : t -> unit
+(** Fiber-only: fresh context over the {e surviving} device, then
+    {!open_stack} — the recovery path after {!crash}. *)
+
+val crash : t -> unit
+(** Power loss: drops the memtable and the DRAM cache's volatile state
+    ({!Mcache.Dram_cache.crash}); completed device writes survive.  Safe
+    to call from an engine event hook (no fiber effects). *)
+
+(** {1 Data plane (fiber-only)} *)
+
+val append : t -> key:string -> r:record -> unit
+(** Durable WAL append (write + msync under the node's WAL lock), then
+    the memtable update.  Raises {!Rpc.Drop} if the node is (or goes)
+    down, {!Wal_full} when the log is exhausted. *)
+
+val find : t -> string -> record option
+(** Memtable lookup; raises {!Rpc.Drop} when down. *)
+
+(** {1 Control plane (oracle/resync bookkeeping, no up-check)} *)
+
+val peek : t -> string -> record option
+val keys : t -> string list  (** sorted *)
+
+val entries : t -> (string * record) list  (** sorted by key *)

@@ -1,0 +1,72 @@
+(* Consistent-hash router: a fixed ring of vnode points; placement for a
+   key is the first K distinct live nodes clockwise from the key's hash.
+   Pure in (key, live set): no state, no RNG draws — the QCheck property
+   in test/test_cluster.ml holds the routing layer to exactly that. *)
+
+(* splitmix64 finalizer — same mixer family as Sim.Rng, applied to an
+   FNV-1a prefix so short keys still spread over the ring *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Int64.to_int (mix64 !h) land max_int
+
+type t = { ring : (int * int) array; nodes : int }
+
+let create ~nodes ?(vnodes = 16) () =
+  if nodes <= 0 then invalid_arg "Router.create: nodes must be positive";
+  if vnodes <= 0 then invalid_arg "Router.create: vnodes must be positive";
+  let pts =
+    Array.init (nodes * vnodes) (fun i ->
+        let node = i / vnodes and v = i mod vnodes in
+        (hash_string (Printf.sprintf "node%d/vnode%d" node v), node))
+  in
+  Array.sort compare pts;
+  { ring = pts; nodes }
+
+let nodes t = t.nodes
+
+(* first ring point with hash >= h, wrapping *)
+let start_index t h =
+  let lo = ref 0 and hi = ref (Array.length t.ring) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.ring.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = Array.length t.ring then 0 else !lo
+
+let place t ~live ~key ~k =
+  if Array.length live <> t.nodes then
+    invalid_arg "Router.place: live set size mismatch";
+  let n = Array.length t.ring in
+  let alive = Array.fold_left (fun a l -> if l then a + 1 else a) 0 live in
+  let want = min k alive in
+  let seen = Array.make t.nodes false in
+  let out = ref [] and found = ref 0 in
+  let i0 = start_index t (hash_string key) in
+  let i = ref 0 in
+  while !found < want && !i < n do
+    let _, node = t.ring.((i0 + !i) mod n) in
+    if live.(node) && not seen.(node) then begin
+      seen.(node) <- true;
+      out := node :: !out;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !out

@@ -1,0 +1,27 @@
+(** Consistent-hash request router (DESIGN.md §11).
+
+    A fixed ring of [nodes * vnodes] hash points; {!place} walks
+    clockwise from the key's hash collecting the first [k] distinct live
+    nodes — the head is the key's primary, the tail its replica chain.
+    Placement is a pure function of the key and the live set: no state
+    is consulted and no randomness drawn, so every client computes the
+    same placement and a node failure re-routes exactly the keys the
+    failed node owned. *)
+
+type t
+
+val create : nodes:int -> ?vnodes:int -> unit -> t
+(** [create ~nodes ()] builds the ring for node ids [0 .. nodes-1] with
+    [vnodes] (default 16) points per node. *)
+
+val nodes : t -> int
+
+val hash_string : string -> int
+(** The ring's key hash (FNV-1a folded through a splitmix64 finalizer),
+    exposed for tests. *)
+
+val place : t -> live:bool array -> key:string -> k:int -> int list
+(** [place t ~live ~key ~k] is the key's replica set: the first
+    [min k |live|] distinct nodes with [live.(n)] true, clockwise from
+    [hash key]; head = primary.  Raises [Invalid_argument] if [live]
+    does not cover every node. *)

@@ -1,0 +1,112 @@
+(* Replicated-cluster serving experiments (registry ids [cluster] and
+   [clusterf]).
+
+   YCSB workload A drives the 5-node / 3-replica aqcluster through the
+   standard Runner: client threads live on the same engine as the node
+   fibers, so throughput, retries and failover costs are all measured on
+   the one virtual clock.  [clusterf] additionally arms an aqfault plan
+   that downs node 1 at a fixed engine event ordinal mid-run — the
+   printed stats then include the failover, the recovery resync and any
+   writes the client had to re-route, and stay byte-identical across
+   runs and [--jobs] degrees. *)
+
+let nodes = 5
+let replicas = 3
+let records = 256
+let value_bytes = 64
+let threads = 4
+let ops_per_thread = 200
+
+(* Ordinal for [clusterf]'s crash: inside the measured run phase of the
+   deterministic schedule above (the full run is ~34k events). *)
+let crash_ordinal = 20_000
+let crash_node = 1
+
+let cfg =
+  {
+    Aqcluster.Cluster.default_config with
+    Aqcluster.Cluster.nodes;
+    replicas;
+    node = { Aqcluster.Node.cache_frames = 64; wal_pages = 2048 };
+  }
+
+(* The Runner's threads don't expect store exceptions; absorb the retry
+   budget running dry during a crash window and count the give-ups. *)
+let shielded (kv : Ycsb.Runner.kv) gave_up =
+  {
+    Ycsb.Runner.kv_read =
+      (fun k ->
+        try kv.Ycsb.Runner.kv_read k
+        with Aqcluster.Rpc.Unreachable _ -> incr gave_up; None);
+    kv_update =
+      (fun k v ->
+        try kv.Ycsb.Runner.kv_update k v
+        with Aqcluster.Rpc.Unreachable _ -> incr gave_up);
+    kv_insert =
+      (fun k v ->
+        try kv.Ycsb.Runner.kv_insert k v
+        with Aqcluster.Rpc.Unreachable _ -> incr gave_up);
+    kv_scan =
+      (fun ~start ~n ->
+        try kv.Ycsb.Runner.kv_scan ~start ~n
+        with Aqcluster.Rpc.Unreachable _ -> incr gave_up; []);
+    kv_rmw =
+      (fun k f ->
+        try kv.Ycsb.Runner.kv_rmw k f
+        with Aqcluster.Rpc.Unreachable _ -> incr gave_up);
+  }
+
+let run_once ~title ~crash () =
+  let eng = Sim.Engine.create () in
+  let cl = Aqcluster.Cluster.create ~cfg ~eng () in
+  let spec =
+    match crash with
+    | None -> Fault.Plan.default
+    | Some (at, node) ->
+        {
+          Fault.Plan.default with
+          Fault.Plan.crash_at = Some at;
+          Fault.Plan.node = Some node;
+        }
+  in
+  let plan = Fault.Plan.make spec in
+  let gave_up = ref 0 in
+  Fault.with_plan plan (fun () ->
+      Aqcluster.Cluster.boot cl;
+      Aqcluster.Cluster.arm_fault cl plan;
+      let kv = shielded (Aqcluster.Cluster.kv cl) gave_up in
+      Ycsb.Runner.load ~eng ~record_count:records ~value_bytes
+        ~insert:kv.Ycsb.Runner.kv_insert ();
+      let r =
+        Ycsb.Runner.run ~eng ~threads ~ops_per_thread
+          ~workload:Ycsb.Workload.a ~record_count:records ~value_bytes ~kv ()
+      in
+      (* writers drained: one final anti-entropy pass before reporting *)
+      ignore
+        (Sim.Engine.spawn eng ~name:"final-resync" ~core:nodes (fun () ->
+             ignore (Aqcluster.Cluster.resync cl)));
+      Sim.Engine.run eng;
+      let st = Aqcluster.Cluster.stats cl in
+      Sim.Sink.printf "%s: %d nodes, %d replicas, YCSB A, %d threads x %d ops\n"
+        title nodes replicas threads ops_per_thread;
+      Sim.Sink.printf
+        "  acked writes %d, redirected %d, failovers %d, resync pages %d, rpc \
+         retries %d, gave up %d\n"
+        st.Aqcluster.Cluster.acked_writes st.Aqcluster.Cluster.redirected
+        st.Aqcluster.Cluster.failovers st.Aqcluster.Cluster.resync_pages
+        (Aqcluster.Cluster.rpc_retries cl)
+        !gave_up;
+      Sim.Sink.printf "  throughput %s, events %d, final cycles %Ld\n"
+        (Stats.Table_fmt.ops_per_sec r.Ycsb.Runner.throughput_ops_s)
+        (Sim.Engine.events eng) (Sim.Engine.now eng);
+      let conv = Aqcluster.Cluster.convergence_violations cl in
+      Sim.Sink.printf "  convergence: %s\n"
+        (if conv = [] then "all replicas identical"
+         else Printf.sprintf "%d VIOLATIONS" (List.length conv)))
+
+let run_cluster () = run_once ~title:"cluster" ~crash:None ()
+
+let run_clusterf () =
+  run_once ~title:"clusterf"
+    ~crash:(Some (crash_ordinal, crash_node))
+    ()

@@ -1,0 +1,8 @@
+(** Replicated-cluster serving experiments (DESIGN.md §11): YCSB
+    workload A over the 5-node / 3-replica aqcluster, measured on the
+    shared virtual clock.  Registry ids [cluster] (steady state) and
+    [clusterf] (an aqfault plan downs node 1 at a fixed engine event
+    ordinal mid-run; stats include the failover and recovery resync). *)
+
+val run_cluster : unit -> unit
+val run_clusterf : unit -> unit

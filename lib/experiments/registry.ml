@@ -37,6 +37,16 @@ let all =
       title = "Shard-partitioned writes + msync with a mid-run power loss";
       run = Sharded.run_crashcheck;
     };
+    {
+      id = "cluster";
+      title = "Replicated aqcluster, YCSB A over 5 nodes x 3 replicas";
+      run = Cluster_run.run_cluster;
+    };
+    {
+      id = "clusterf";
+      title = "Replicated aqcluster with a mid-run node crash + failover";
+      run = Cluster_run.run_clusterf;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

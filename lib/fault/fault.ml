@@ -30,6 +30,7 @@ module Plan = struct
     latency_spike : float;
     spike_factor : int;
     crash_at : int option;
+    node : int option;
   }
 
   let default =
@@ -42,6 +43,7 @@ module Plan = struct
       latency_spike = 0.0;
       spike_factor = 8;
       crash_at = None;
+      node = None;
     }
 
   let prob what v =
@@ -92,6 +94,9 @@ module Plan = struct
             | "crash" ->
                 if f < 0.0 then Error "fault plan: crash must be >= 0"
                 else Ok { sp with crash_at = Some (int_of_float f) }
+            | "node" ->
+                if f < 0.0 then Error "fault plan: node must be >= 0"
+                else Ok { sp with node = Some (int_of_float f) }
             | k -> Error (Printf.sprintf "fault plan: unknown key %S" k)))
       (Ok default) fields
 
@@ -108,6 +113,9 @@ module Plan = struct
       Buffer.add_string b (Printf.sprintf ",spikex=%d" sp.spike_factor);
     (match sp.crash_at with
     | Some n -> Buffer.add_string b (Printf.sprintf ",crash=%d" n)
+    | None -> ());
+    (match sp.node with
+    | Some i -> Buffer.add_string b (Printf.sprintf ",node=%d" i)
     | None -> ());
     Buffer.contents b
 
@@ -149,6 +157,7 @@ module Plan = struct
   let retries t = t.n_retries
   let sigbus_count t = t.n_sigbus
   let crashed t = t.did_crash
+  let note_crash t = t.did_crash <- true
 
   let counters t =
     [
@@ -197,10 +206,14 @@ let crash_hook (p : Plan.t) at =
       raise (Crash { at_event = n })
     end
 
+(* A node-targeted plan ([node=I]) never arms the raising domain hook:
+   the crash belongs to one cluster node, not the whole engine run, so
+   the cluster layer consumes [crash_at]/[node] itself and downs just
+   that node (calling {!Plan.note_crash} when it fires). *)
 let arm p =
-  match p.Plan.sp.Plan.crash_at with
-  | Some at -> Sim.Engine.set_domain_event_hook (Some (crash_hook p at))
-  | None -> Sim.Engine.set_domain_event_hook None
+  match (p.Plan.sp.Plan.crash_at, p.Plan.sp.Plan.node) with
+  | Some at, None -> Sim.Engine.set_domain_event_hook (Some (crash_hook p at))
+  | _ -> Sim.Engine.set_domain_event_hook None
 
 let install p =
   let slot = Domain.DLS.get plan_key in

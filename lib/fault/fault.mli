@@ -49,6 +49,10 @@ module Plan : sig
     latency_spike : float;  (** P(service time is multiplied) per I/O *)
     spike_factor : int;  (** service-time multiplier for spikes (>= 2) *)
     crash_at : int option;  (** crash at the first event ordinal >= this *)
+    node : int option;
+        (** restrict the crash to one cluster node: the raising engine
+            hook is NOT armed; the cluster layer downs node [I] at the
+            ordinal instead while other nodes run clean *)
   }
 
   val default : spec
@@ -56,7 +60,7 @@ module Plan : sig
       (used to measure hook overhead and RNG-draw determinism). *)
 
   val parse : string -> (spec, string) result
-  (** [parse "seed=7,read=0.01,write=0.01,perm=0.1,torn=0.5,spike=0.02,spikex=8,crash=120000"]
+  (** [parse "seed=7,read=0.01,write=0.01,perm=0.1,torn=0.5,spike=0.02,spikex=8,crash=120000,node=2"]
       — comma-separated [key=value] over {!default}; unknown keys are an
       error.  The empty string is {!default}. *)
 
@@ -80,6 +84,11 @@ module Plan : sig
   val retries : t -> int
   val sigbus_count : t -> int
   val crashed : t -> bool
+
+  val note_crash : t -> unit
+  (** Record that the plan's crash fired.  Used by the cluster layer,
+      which consumes node-targeted crashes itself instead of letting the
+      engine hook raise. *)
 
   val counters : t -> (string * int) list
   (** All of the above as [(name, count)] rows, fixed order — two runs

@@ -61,12 +61,15 @@ type ctx = {
   mutable idle : int;
   mutable ev : int; (* events executed by this fiber *)
   mutable waiting_on : int; (* shard id the fiber waits on, -1 = none *)
+  mutable node : int; (* cluster node id the fiber serves, -1 = none *)
   mutable lab : int array; (* cycles per interned label id (internal) *)
   it : interns; (* owning engine's intern table (internal) *)
 }
 
 let set_waiting_on ctx sid = ctx.waiting_on <- sid
 let waiting_on ctx = ctx.waiting_on
+let set_node_id ctx nid = ctx.node <- nid
+let node_id ctx = ctx.node
 
 let ctx_bump ctx id c =
   let n = Array.length ctx.lab in
@@ -277,10 +280,13 @@ let blocked_report t =
     (fun ctx ->
       Buffer.add_string b
         (Printf.sprintf
-           "  fiber %d %S core %d shard %d%s%s: events=%d user=%d sys=%d \
+           "  fiber %d %S core %d shard %d%s%s%s: events=%d user=%d sys=%d \
             idle=%d cycles\n"
            ctx.fid ctx.name ctx.core
            (shard_of t ctx.core)
+           (* cluster-node tag: a cross-node RPC deadlock then names both
+              halves (this node, plus the awaited shard) in one line *)
+           (if ctx.node >= 0 then Printf.sprintf " node %d" ctx.node else "")
            (if ctx.waiting_on >= 0 then
               (* the cross-shard half of a deadlock: name the peer whose
                  reply never came, not just where this fiber lives *)
@@ -459,6 +465,7 @@ let spawn t ?(name = "fiber") ?(core = 0) ?(daemon = false) f =
       idle = 0;
       ev = 0;
       waiting_on = -1;
+      node = -1;
       lab = [||];
       it = t.it;
     }

@@ -42,6 +42,11 @@ type ctx = {
           {!set_waiting_on} before a cross-shard {!suspend}, cleared
           automatically when the fiber resumes, printed by
           {!blocked_report} so cross-shard deadlocks name the peer *)
+  mutable node : int;
+      (** cluster node id this fiber serves ([-1] when not part of a
+          cluster) — set via {!set_node_id} by [Aqcluster] server fibers,
+          printed by {!blocked_report} so cross-node RPC deadlocks triage
+          in one line *)
   mutable lab : int array;
       (** cycles per interned label id — internal, read via {!labels} *)
   it : interns;  (** owning engine's intern table — internal *)
@@ -64,6 +69,14 @@ val set_waiting_on : ctx -> int -> unit
 
 val waiting_on : ctx -> int
 (** [waiting_on ctx] is the shard id set by {!set_waiting_on}, or [-1]. *)
+
+val set_node_id : ctx -> int -> unit
+(** [set_node_id ctx nid] tags the fiber as serving cluster node [nid];
+    {!blocked_report} then prints ["node nid"] alongside the owning and
+    awaited shard.  Persists for the fiber's lifetime. *)
+
+val node_id : ctx -> int
+(** [node_id ctx] is the cluster node id set by {!set_node_id}, or [-1]. *)
 
 type t
 (** A simulation engine instance. *)
@@ -114,8 +127,9 @@ val blocked_fibers : t -> (int * string) list
 
 val blocked_report : t -> string
 (** [blocked_report t] is a multi-line deadlock report: every parked
-    fiber (daemons flagged), its core and owning shard (so cross-shard
-    deadlocks are triageable), the number of events it executed
+    fiber (daemons flagged), its core, owning shard and cluster node id
+    when set (so cross-shard and cross-node deadlocks are triageable),
+    the number of events it executed
     ({!ctx.ev}), its user/sys/idle cycle totals, and its per-label cost
     breakdown ({!labels}) — so a fiber hung in a fault-injection retry
     loop ("io_retry") is distinguishable from one waiting on a lock.

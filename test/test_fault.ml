@@ -20,8 +20,10 @@ let spec_roundtrip () =
         latency_spike = 0.01;
         spike_factor = 8;
         crash_at = Some 120000;
+        node = None;
       };
       { Fault.Plan.default with Fault.Plan.crash_at = Some 1 };
+      { Fault.Plan.default with Fault.Plan.crash_at = Some 9; node = Some 2 };
     ]
   in
   List.iter
