@@ -1,0 +1,122 @@
+(* Open-loop load smoke bench.
+
+   Three fixed overload points — linux mmap at 400k ops/s, Aquila at
+   3.2M ops/s (past its knee), and the replicated cluster at 400k ops/s
+   — each driven by the seeded Poisson injector with a 512-deep
+   admission queue and a 100k-cycle sojourn SLO.  Every point saturates
+   its backend, so the shed and SLO-violation counters are solidly
+   nonzero and the tail percentiles sit on the queueing plateau: exact,
+   deterministic functions of the service path.
+
+   The whole battery runs twice and must agree byte-for-byte (the bench
+   doubles as the open-loop determinism smoke; CI additionally runs the
+   binary twice and cmps stdout, filtering '#'-prefixed wall lines).
+
+   Results land in BENCH_openloop.json for bench/perf_gate's trajectory
+   gate: completions is gated higher-is-better; shed, slo_violations,
+   p99_cycles, p999_cycles, events and final_cycles lower-is-better
+   (p50_cycles and wall are recorded but never gated). *)
+
+let slo_cycles = 100_000
+
+let points =
+  [
+    (Experiments.Openloop.Linux, 4e5);
+    (Experiments.Openloop.Aquila, 3.2e6);
+    (Experiments.Openloop.Cluster, 4e5);
+  ]
+
+type snap = {
+  name : string;
+  arrivals : int;
+  completions : int;
+  shed : int;
+  slo_violations : int;
+  p50 : int64;
+  p99 : int64;
+  p999 : int64;
+  events : int;
+  final_cycles : int64;
+}
+
+let run_battery () =
+  let params = { Experiments.Openloop.default_params with slo_cycles } in
+  List.map
+    (fun (kind, rate) ->
+      let pt = Experiments.Openloop.run_point params kind ~rate in
+      let r = pt.Experiments.Openloop.p_res in
+      let pc p = Stats.Histogram.percentile r.Loadgen.sojourn p in
+      {
+        name = Experiments.Openloop.kind_name kind;
+        arrivals = r.Loadgen.arrivals;
+        completions = r.Loadgen.completions;
+        shed = Loadgen.shed r;
+        slo_violations = r.Loadgen.slo_violations;
+        p50 = pc 50.;
+        p99 = pc 99.;
+        p999 = pc 99.9;
+        events = pt.Experiments.Openloop.p_events;
+        final_cycles = pt.Experiments.Openloop.p_final;
+      })
+    points
+
+let () =
+  let t0 = Sys.time () in
+  let a = run_battery () in
+  let wall = Sys.time () -. t0 in
+  let b = run_battery () in
+  if a <> b then begin
+    Printf.printf "FAIL: nondeterministic: repeat run disagrees\n";
+    List.iter2
+      (fun x y ->
+        if x <> y then
+          Printf.printf
+            "  %s: events %d/%d, final cycles %Ld/%Ld, completions %d/%d\n"
+            x.name x.events y.events x.final_cycles y.final_cycles
+            x.completions y.completions)
+      a b;
+    exit 1
+  end;
+  (* overload sanity: a zero here means the point no longer saturates and
+     the Lower-gated counters would go toothless *)
+  List.iter
+    (fun s ->
+      if s.completions = 0 || s.shed = 0 || s.slo_violations = 0 then begin
+        Printf.printf
+          "FAIL: %s not saturated (completions %d, shed %d, slo %d) — \
+           retune the smoke's rate\n"
+          s.name s.completions s.shed s.slo_violations;
+        exit 1
+      end)
+    a;
+  let oc = open_out "BENCH_openloop.json" in
+  Printf.fprintf oc "{\n  \"openloop\": {\n";
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc
+        "    %S: {\n\
+        \      \"arrivals\": %d,\n\
+        \      \"completions\": %d,\n\
+        \      \"shed\": %d,\n\
+        \      \"slo_violations\": %d,\n\
+        \      \"p50_cycles\": %Ld,\n\
+        \      \"p99_cycles\": %Ld,\n\
+        \      \"p999_cycles\": %Ld,\n\
+        \      \"events\": %d,\n\
+        \      \"final_cycles\": %Ld\n\
+        \    },\n"
+        s.name s.arrivals s.completions s.shed s.slo_violations s.p50 s.p99
+        s.p999 s.events s.final_cycles;
+      ignore i)
+    a;
+  Printf.fprintf oc "    \"wall\": %.6f\n  }\n}\n" wall;
+  close_out oc;
+  List.iter
+    (fun s ->
+      Printf.printf
+        "openloop smoke %-7s %d arrivals, %d done, %d shed, %d slo \
+         violations, p99 %Ld cycles, %d events\n"
+        s.name s.arrivals s.completions s.shed s.slo_violations s.p99 s.events)
+    a;
+  Printf.printf "# wall %.3fs\n" wall;
+  Printf.printf "wrote BENCH_openloop.json — deterministic across repeat runs\n"

@@ -187,6 +187,14 @@ let dir_of key =
        pages or retries — means replication or recovery got worse. *)
     | "acked_ops" -> Some Higher
     | "failovers" | "resync_pages" | "rpc_retries" -> Some Lower
+    (* open-loop smoke (BENCH_openloop.json): fixed overload points, so
+       the sojourn tail, the shed and SLO-violation counts and the
+       completion total are exact functions of the backend's service
+       path — serving fewer requests, or shedding / violating / tailing
+       more, is a regression.  p50_cycles stays advisory: the median
+       moves with benign scheduling shifts the tail gate already bounds. *)
+    | "completions" -> Some Higher
+    | "shed" | "slo_violations" | "p99_cycles" | "p999_cycles" -> Some Lower
     | _ -> None
 
 type verdict = { failures : (string * float * float) list; checked : int }

@@ -448,6 +448,148 @@ let clustercheck_cmd =
     Term.(
       ret (const run $ seeds $ points $ nodes $ replicas $ broken $ jobs_arg))
 
+let loadtest_cmd =
+  let doc = "Open-loop load test: seeded arrivals, sojourn SLOs, shedding." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Injects requests from a seeded arrival process (Poisson, bursty \
+         MMPP, or a diurnal ramp) at the offered rates in $(b,--rates), \
+         independent of how fast each backend absorbs them — the open-loop \
+         setup that exposes queueing delay.  Per-request sojourn latency \
+         (arrival to completion) is reported as p50/p99/p999 with \
+         SLO-violation and load-shedding counts; arrivals beyond the \
+         bounded admission queue are shed, as are arrivals while the DRAM \
+         cache is in degraded mode.  One fan-out job per (backend, rate) \
+         point: output is byte-identical at any $(b,--jobs) or \
+         $(b,--shards) degree (CI cmp-gates both; lines starting with '#' \
+         are excluded from the comparison).";
+    ]
+  in
+  let backend_conv =
+    let parse s =
+      match Experiments.Openloop.kind_of_string s with
+      | Ok k -> Ok k
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      ( parse,
+        fun ppf k ->
+          Format.pp_print_string ppf (Experiments.Openloop.kind_name k) )
+  in
+  let backends =
+    Arg.(
+      value
+      & opt (list backend_conv)
+          Experiments.Openloop.[ Linux; Aquila; Cluster ]
+      & info [ "backends" ] ~docv:"LIST"
+          ~doc:"Comma-separated backends to drive: 'linux' (mmap sim), \
+                'aquila' (single node) and/or 'cluster' (replicated \
+                aqcluster kvstore).")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) Experiments.Openloop.default_rates
+      & info [ "rates" ] ~docv:"OPS"
+          ~doc:"Comma-separated offered loads in ops/s of the simulated \
+                2.4 GHz clock; each (backend, rate) pair is one run on a \
+                fresh engine.")
+  in
+  let process =
+    Arg.(
+      value
+      & opt string "poisson"
+      & info [ "process" ] ~docv:"P"
+          ~doc:"Arrival process: 'poisson', 'mmpp' (bursty on/off) or \
+                'diurnal' (raised-cosine ramp).  Mean offered load always \
+                equals the swept rate.")
+  in
+  let dflt = Experiments.Openloop.default_params in
+  let horizon =
+    Arg.(
+      value
+      & opt int dflt.Experiments.Openloop.horizon
+      & info [ "horizon" ] ~docv:"CYCLES"
+          ~doc:"Injection window in virtual cycles.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int dflt.Experiments.Openloop.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Service fibers draining the admission queue per backend.")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt int dflt.Experiments.Openloop.queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Bounded admission-queue capacity; arrivals beyond it are \
+                shed (counted, never blocking the injector).")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt int dflt.Experiments.Openloop.slo_cycles
+      & info [ "slo" ] ~docv:"CYCLES"
+          ~doc:"Sojourn SLO in cycles; slower completions count as \
+                violations (0 disables).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int dflt.Experiments.Openloop.seed
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the arrival stream and request contents.")
+  in
+  let run backends rates process horizon workers queue_cap slo seed jobs
+      shards deterministic plan crash_at policy metrics_out =
+    match (Loadgen.Arrival.shape_of_string process, fault_spec_of plan crash_at)
+    with
+    | Error msg, _ -> `Error (true, "--process: " ^ msg)
+    | _, Error msg -> `Error (true, "--fault-plan: " ^ msg)
+    | Ok _, _ when jobs < 1 -> `Error (true, "--jobs must be >= 1")
+    | Ok _, _ when shards < 1 -> `Error (true, "--shards must be >= 1")
+    | Ok _, _ when horizon <= 0 -> `Error (true, "--horizon must be > 0")
+    | Ok _, _ when workers < 1 -> `Error (true, "--workers must be >= 1")
+    | Ok _, _ when queue_cap < 1 -> `Error (true, "--queue-cap must be >= 1")
+    | Ok _, _ when slo < 0 -> `Error (true, "--slo must be >= 0")
+    | Ok _, _ when backends = [] -> `Error (true, "--backends must be non-empty")
+    | Ok _, _ when rates = [] || List.exists (fun r -> r <= 0.) rates ->
+        `Error (true, "--rates must be positive")
+    | Ok shape, Ok fault ->
+        Experiments.Scenario.set_policy policy;
+        Sim.Engine.set_default_shards shards;
+        (* loadtest runs single-engine workloads: --shards restructures
+           each engine's queue under the deterministic merge, and
+           --deterministic just asserts that contract, so both are
+           reported on a '#' line the parity gate filters out *)
+        Printf.printf "# loadtest jobs=%d shards=%d%s\n%!" jobs shards
+          (if deterministic then " deterministic" else "");
+        let params =
+          {
+            Experiments.Openloop.shape;
+            horizon;
+            workers;
+            queue_cap;
+            slo_cycles = slo;
+            seed;
+          }
+        in
+        Experiments.Scenario.with_metrics ?out:metrics_out (fun () ->
+            Experiments.Openloop.loadtest ~jobs ?fault ~backends ~rates params);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "loadtest" ~doc ~man)
+    Term.(
+      ret
+        (const run $ backends $ rates $ process $ horizon $ workers
+       $ queue_cap $ slo $ seed $ jobs_arg $ shards_arg $ deterministic_arg
+       $ fault_plan_arg $ crash_at_arg $ policy_arg $ metrics_out_arg))
+
 let report_cmd =
   let doc = "Run an experiment and print its metrics breakdown." in
   let man =
@@ -579,6 +721,7 @@ let () =
             run_cmd;
             trace_cmd;
             report_cmd;
+            loadtest_cmd;
             faultcheck_cmd;
             clustercheck_cmd;
           ]))

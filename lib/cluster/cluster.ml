@@ -99,6 +99,7 @@ let rpc_timeouts t = Rpc.timeouts t.rpc
 let rpc_retries t = Rpc.retries t.rpc
 let live_view t = Array.copy t.live
 let node t i = t.nodes.(i)
+let degraded t = Array.exists Node.degraded t.nodes
 let devices t = Array.map Node.device t.nodes
 
 (* ---- request handlers (run in per-request fibers on the node's core) ---- *)

@@ -80,6 +80,10 @@ val convergence_violations : t -> string list
 (** For every key, all placement members must expose identical
     (op, value) state; returns human-readable mismatches. *)
 
+val degraded : t -> bool
+(** Some live node's DRAM cache is in read-only degraded mode — the
+    cluster-level load-shedding signal for the open-loop harness. *)
+
 val stats : t -> stats
 val rpc_timeouts : t -> int
 val rpc_retries : t -> int

@@ -63,6 +63,7 @@ let is_up t = t.up
 let tainted t = t.tainted
 let set_tainted t b = t.tainted <- b
 let device t = t.nvme
+let degraded t = t.up && Mcache.Dram_cache.degraded (Aquila.Context.cache t.ctx)
 let wal_len t = t.wal_len
 let ensure_up t = if not t.up then raise Rpc.Drop
 

@@ -33,6 +33,12 @@ val tainted : t -> bool
     unconditional overwrites (divergent-tail truncation). *)
 
 val set_tainted : t -> bool -> unit
+
+val degraded : t -> bool
+(** The node's DRAM cache is in read-only degraded mode
+    ({!Mcache.Dram_cache.degraded}) — the open-loop load-shedding
+    signal.  False while the node is down or its stack is cold. *)
+
 val device : t -> Sdevice.Block_dev.t
 val wal_len : t -> int
 val ensure_up : t -> unit

@@ -47,6 +47,11 @@ let all =
       title = "Replicated aqcluster with a mid-run node crash + failover";
       run = Cluster_run.run_clusterf;
     };
+    {
+      id = "openloop";
+      title = "Open-loop latency vs offered load (hockey stick), per backend";
+      run = Openloop.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

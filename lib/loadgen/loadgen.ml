@@ -1,0 +1,163 @@
+module Arrival = Arrival
+
+type config = {
+  process : Arrival.process;
+  horizon : int;
+  workers : int;
+  queue_cap : int;
+  slo_cycles : int;
+  seed : int;
+  shed_when_degraded : bool;
+}
+
+type backend = {
+  name : string;
+  serve : int -> unit;
+  degraded : unit -> bool;
+}
+
+type result = {
+  arrivals : int;
+  admitted : int;
+  completions : int;
+  shed_full : int;
+  shed_degraded : int;
+  slo_violations : int;
+  max_depth : int;
+  sojourn : Stats.Histogram.t;
+}
+
+let shed r = r.shed_full + r.shed_degraded
+
+(* Injector + worker-pool driver.  The injector fiber idle-waits to each
+   arrival instant and either sheds or enqueues; workers drain the queue
+   and park (suspend) when it runs dry.  Wakeups are one-per-admission,
+   and a worker only parks after seeing the queue empty, so no admitted
+   request can strand; the injector closes the queue and wakes every
+   parked worker when the stream ends, so the engine always drains
+   (asserted by the no-deadlock test). *)
+let run t cfg mk =
+  if cfg.horizon <= 0 then invalid_arg "Loadgen.run: horizon must be > 0";
+  if cfg.workers <= 0 then invalid_arg "Loadgen.run: workers must be > 0";
+  if cfg.queue_cap <= 0 then invalid_arg "Loadgen.run: queue_cap must be > 0";
+  let arrivals = ref 0
+  and admitted = ref 0
+  and completions = ref 0
+  and shed_full = ref 0
+  and shed_degraded = ref 0
+  and slo_violations = ref 0
+  and max_depth = ref 0 in
+  let sojourn = Stats.Histogram.create () in
+  let _main =
+    Sim.Engine.spawn t ~name:"loadgen.main" (fun () ->
+        let b = mk () in
+        let labels = [ ("backend", b.name) ] in
+        let m = Metrics.Registry.counter ~labels in
+        let c_arrivals = m "loadgen_arrivals_total"
+        and c_admitted = m "loadgen_admitted_total"
+        and c_completions = m "loadgen_completions_total"
+        and c_slo = m "loadgen_slo_violations_total"
+        and c_shed_full =
+          Metrics.Registry.counter
+            ~labels:(("reason", "full") :: labels)
+            "loadgen_shed_total"
+        and c_shed_degraded =
+          Metrics.Registry.counter
+            ~labels:(("reason", "degraded") :: labels)
+            "loadgen_shed_total"
+        and h_sojourn =
+          Metrics.Registry.histogram ~labels "loadgen_sojourn_cycles"
+        in
+        let times =
+          Arrival.generate ~seed:cfg.seed ~horizon:cfg.horizon cfg.process
+        in
+        (* setup (region mapping, cluster boot) has advanced the clock;
+           the injection window starts now *)
+        let start = Int64.to_int (Sim.Engine.now_f ()) in
+        let q : (int * int) Queue.t = Queue.create () in
+        let idle : (unit -> unit) Queue.t = Queue.create () in
+        let closed = ref false in
+        let wake_one () =
+          match Queue.take_opt idle with Some resume -> resume () | None -> ()
+        in
+        let wake_all () =
+          let rec go () =
+            match Queue.take_opt idle with
+            | Some resume ->
+                resume ();
+                go ()
+            | None -> ()
+          in
+          go ()
+        in
+        let worker () =
+          let rec loop () =
+            match Queue.take_opt q with
+            | Some (i, at) ->
+                b.serve i;
+                let s = Int64.to_int (Sim.Engine.now_f ()) - at in
+                Stats.Histogram.record sojourn (Int64.of_int s);
+                Metrics.Registry.observe h_sojourn s;
+                incr completions;
+                Metrics.Registry.incr c_completions;
+                if cfg.slo_cycles > 0 && s > cfg.slo_cycles then begin
+                  incr slo_violations;
+                  Metrics.Registry.incr c_slo
+                end;
+                loop ()
+            | None ->
+                if not !closed then begin
+                  Sim.Engine.suspend (fun resume -> Queue.add resume idle);
+                  loop ()
+                end
+          in
+          loop ()
+        in
+        let injector () =
+          Array.iteri
+            (fun i at ->
+              let target = start + at in
+              let nowc = Int64.to_int (Sim.Engine.now_f ()) in
+              if target > nowc then
+                Sim.Engine.idle_wait (Int64.of_int (target - nowc));
+              incr arrivals;
+              Metrics.Registry.incr c_arrivals;
+              if cfg.shed_when_degraded && b.degraded () then begin
+                incr shed_degraded;
+                Metrics.Registry.incr c_shed_degraded
+              end
+              else if Queue.length q >= cfg.queue_cap then begin
+                incr shed_full;
+                Metrics.Registry.incr c_shed_full
+              end
+              else begin
+                incr admitted;
+                Metrics.Registry.incr c_admitted;
+                Queue.add (i, Int64.to_int (Sim.Engine.now_f ())) q;
+                if Queue.length q > !max_depth then
+                  max_depth := Queue.length q;
+                wake_one ()
+              end)
+            times;
+          closed := true;
+          wake_all ()
+        in
+        for w = 0 to cfg.workers - 1 do
+          ignore
+            (Sim.Engine.spawn t
+               ~name:(Printf.sprintf "loadgen.worker%d" w)
+               worker)
+        done;
+        ignore (Sim.Engine.spawn t ~name:"loadgen.injector" injector))
+  in
+  Sim.Engine.run t;
+  {
+    arrivals = !arrivals;
+    admitted = !admitted;
+    completions = !completions;
+    shed_full = !shed_full;
+    shed_degraded = !shed_degraded;
+    slo_violations = !slo_violations;
+    max_depth = !max_depth;
+    sojourn;
+  }

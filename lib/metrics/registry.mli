@@ -74,6 +74,16 @@ val reset : unit -> unit
 (** Zero all values in all domains.  Families and series registrations
     (and bound cells) stay valid. *)
 
+val quantile : sample -> float -> int
+(** [quantile s p] is the {e quantile-at-least} estimate for [p] in
+    [\[0,100\]] over a histogram sample's sparse pow2 buckets: the upper
+    bound [2^(k+1) - 1] of the first bucket [k] (bucket 0 reports 1)
+    whose cumulative count reaches [ceil (s_count * p / 100)]
+    observations.  No interpolation: the estimate never undershoots the
+    exact order statistic, and can overshoot by up to one pow2 bucket.
+    Same semantics as {!Stats.Histogram.percentile} at coarser
+    resolution; 0 when the sample is empty or not a histogram. *)
+
 val value : ?labels:(string * string) list -> string -> int
 (** Merged value of family [labels] series; with [labels = []] the sum
     over all series of the family.  Cold path (full snapshot). *)

@@ -53,6 +53,18 @@ let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
 let max_value t = t.vmax
 let min_value t = if t.n = 0 then 0L else t.vmin
 
+(* Quantile-at-least, no interpolation: return the inclusive upper bound
+   of the first bucket whose cumulative count reaches ceil(n * p / 100)
+   — the smallest bound v such that at least a fraction p of samples are
+   guaranteed <= v.  The inclusive upper bound of bucket idx is the next
+   bucket's lower bound minus one (bound_of gives lower bounds; for
+   width-1 buckets below [sub] the two coincide).  Returning the lower
+   bound instead would silently undershoot the exact order statistic by
+   up to a bucket width (~3%).  The bound is then clamped into
+   [vmin, vmax]: a sparse histogram (small n) otherwise reports a bucket
+   ceiling no sample ever reached — p999 of twenty samples must be the
+   exact maximum sample, not max rounded up ~3% (see test_stats's
+   percentile_small_n). *)
 let percentile t p =
   if t.n = 0 then 0L
   else begin
@@ -64,9 +76,15 @@ let percentile t p =
       if idx >= nbuckets then t.vmax
       else
         let acc = acc + t.buckets.(idx) in
-        if acc >= target then bound_of idx else go (idx + 1) acc
+        if acc >= target then
+          if idx + 1 >= nbuckets then t.vmax
+          else Int64.sub (bound_of (idx + 1)) 1L
+        else go (idx + 1) acc
     in
-    go 0 0
+    let b = go 0 0 in
+    if Int64.compare b t.vmin < 0 then t.vmin
+    else if Int64.compare b t.vmax > 0 then t.vmax
+    else b
   end
 
 let merge a b =

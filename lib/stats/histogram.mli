@@ -17,8 +17,16 @@ val max_value : t -> int64
 val min_value : t -> int64
 
 val percentile : t -> float -> int64
-(** [percentile t p] is the smallest bucket upper bound covering fraction
-    [p] (in [\[0,100\]]) of samples; 0 when empty. *)
+(** [percentile t p] is the {e quantile-at-least} estimate for [p] in
+    [\[0,100\]]: the upper bound of the first bucket whose cumulative
+    count reaches [ceil (n * p / 100)] samples — the smallest recorded
+    bound [v] with at least a fraction [p] of samples [<= v] — clamped
+    into [\[min_value, max_value\]].  No interpolation is performed
+    inside a bucket, so the estimate can exceed the exact order
+    statistic by up to one bucket width (~3 % relative error), never
+    undershoot it by more than a bucket, and extreme quantiles on small
+    [n] (e.g. p999 of 20 samples) return the exact maximum sample thanks
+    to the clamp.  0 when empty. *)
 
 val merge : t -> t -> t
 (** [merge a b] is a fresh histogram holding all of [a]'s and [b]'s

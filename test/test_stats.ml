@@ -55,6 +55,56 @@ let histogram_bucket_boundary () =
   Alcotest.(check int64) "min" 31L (Stats.Histogram.min_value h);
   Alcotest.(check int64) "max" 32L (Stats.Histogram.max_value h)
 
+(* Quantile-at-least on sparse buckets: an extreme quantile of a small
+   sample must clamp to the exact maximum sample, not report the ceiling
+   of a log bucket no sample ever reached. *)
+let histogram_percentile_small_n () =
+  let h = Stats.Histogram.create () in
+  (* 20 samples, max 99_999 — the raw bucket bound for the max's bucket
+     is 100_352 (~0.35% above), so p999 without clamping would invent a
+     latency the workload never exhibited *)
+  for v = 1 to 19 do
+    Stats.Histogram.record h (Int64.of_int (v * 1000))
+  done;
+  Stats.Histogram.record h 99_999L;
+  Alcotest.(check int64) "p999 of 20 samples is the exact max" 99_999L
+    (Stats.Histogram.percentile h 99.9);
+  Alcotest.(check int64) "p99 too" 99_999L (Stats.Histogram.percentile h 99.);
+  (* single sample: every quantile is that sample *)
+  let one = Stats.Histogram.create () in
+  Stats.Histogram.record one 12_345L;
+  List.iter
+    (fun p ->
+      Alcotest.(check int64)
+        (Printf.sprintf "p%.1f of one sample" p)
+        12_345L
+        (Stats.Histogram.percentile one p))
+    [ 0.; 50.; 99.; 99.9; 100. ]
+
+let histogram_percentile_never_undershoots =
+  QCheck.Test.make
+    ~name:"quantile-at-least: estimate >= exact order statistic, <= max"
+    ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_range 1 1_000_000))
+    (fun samples ->
+      samples = []
+      ||
+      let h = Stats.Histogram.create () in
+      List.iter (fun v -> Stats.Histogram.record h (Int64.of_int v)) samples;
+      let sorted = Array.of_list (List.sort compare samples) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let rank =
+            min (n - 1)
+              (max 0 (int_of_float (ceil (float_of_int n *. p /. 100.)) - 1))
+          in
+          let exact = Int64.of_int sorted.(rank) in
+          let est = Stats.Histogram.percentile h p in
+          Int64.compare est exact >= 0
+          && Int64.compare est (Stats.Histogram.max_value h) <= 0)
+        [ 50.; 90.; 99.; 99.9 ])
+
 let histogram_merge_pure () =
   let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
   for v = 1 to 10 do
@@ -156,6 +206,9 @@ let () =
           Alcotest.test_case "exact percentiles" `Quick
             histogram_percentiles_exact;
           Alcotest.test_case "bucket boundary" `Quick histogram_bucket_boundary;
+          Alcotest.test_case "p999 on small n clamps to max" `Quick
+            histogram_percentile_small_n;
+          QCheck_alcotest.to_alcotest histogram_percentile_never_undershoots;
           Alcotest.test_case "merge (pure)" `Quick histogram_merge_pure;
           QCheck_alcotest.to_alcotest histogram_merge_agrees_with_merge_into;
           Alcotest.test_case "merge/reset" `Quick histogram_merge_reset;
